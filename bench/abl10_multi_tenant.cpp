@@ -1,0 +1,93 @@
+// Ablation 10: multi-tenant interference through the UVM driver.
+//
+// The paper studies one application at a time; data-center GPUs run several.
+// Because the UVM driver is a single serial fault-servicing path and GPU
+// memory is one shared LRU pool, co-located kernels interfere in two ways
+// the solo experiments cannot show:
+//   (a) fault-service queueing — one tenant's batch storm delays the
+//       other's fault resolution;
+//   (b) cross-tenant eviction — a tenant that fits in memory alone starts
+//       thrashing when a neighbour's working set pushes the pool over
+//       capacity (the Fig. 8 evict-refault cycle, now caused by a
+//       different application).
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/report.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace uvmsim;
+
+KernelSpec sweep(const VaRange& r, const char* name) {
+  GridBuilder g(name);
+  for (std::uint64_t p = 0; p < r.num_pages; p += 32) {
+    auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(32, r.num_pages - p));
+    g.new_warp().add_run(r.first_page + p, n, true, 600);
+  }
+  return g.build(static_cast<double>(r.num_pages));
+}
+
+struct TenantResult {
+  SimDuration duration = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t faults = 0;
+};
+
+TenantResult run_tenant_a(const SimConfig& cfg, double rival_frac) {
+  Simulator sim(cfg);
+  RangeId a = sim.malloc_managed(cfg.gpu_memory() / 2, "tenant_a");
+  sim.launch(sweep(sim.address_space().range(a), "tenant_a"), 0);
+  if (rival_frac > 0.0) {
+    auto bytes = static_cast<std::uint64_t>(
+        rival_frac * static_cast<double>(cfg.gpu_memory()));
+    RangeId b = sim.malloc_managed(bytes, "tenant_b");
+    sim.launch(sweep(sim.address_space().range(b), "tenant_b"), 1);
+  }
+  RunResult r = sim.run();
+  TenantResult out;
+  out.duration = r.kernels[0].duration();  // tenant A's kernel
+  out.evictions = r.counters.evictions;
+  out.faults = r.counters.faults_fetched;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace uvmsim::bench;
+
+  SimConfig cfg = base_config();
+
+  // Tenant A always uses 50 % of GPU memory; the rival grows from absent to
+  // memory-hostile.
+  Table t({"rival_size_pct", "tenant_a_time", "slowdown_vs_solo",
+           "total_evictions", "total_faults"});
+  SimDuration solo = 0;
+  SimDuration with_small = 0, with_large = 0;
+  std::uint64_t evict_small = 0, evict_large = 0;
+
+  for (double rival : {0.0, 0.25, 0.4, 0.75, 1.0}) {
+    TenantResult r = run_tenant_a(cfg, rival);
+    if (rival == 0.0) solo = r.duration;
+    if (rival == 0.25) {
+      with_small = r.duration;
+      evict_small = r.evictions;
+    }
+    if (rival == 1.0) {
+      with_large = r.duration;
+      evict_large = r.evictions;
+    }
+    t.add_row({fmt(100.0 * rival, 3), format_duration(r.duration),
+               fmt(slowdown(solo, r.duration), 3) + "x",
+               fmt(r.evictions), fmt(r.faults)});
+  }
+  t.print("Ablation 10 — tenant A (50 % of GPU memory) vs a growing rival");
+
+  shape_check("a small rival (fits together) costs only service queueing",
+              evict_small == 0 && with_small > solo);
+  shape_check("a memory-hostile rival causes cross-tenant eviction thrash",
+              evict_large > 0 && with_large > with_small);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation 2: fault-batch size sweep (paper §III-D insight 2).
+//
+// Paper claim: "the batch size affects the cost and the optimal size depends
+// on application access patterns... Larger batches have a better chance to
+// have more page faults in the same VABlock, which better utilizes the
+// bandwidth and amortizes migration cost, at the cost of potentially
+// delaying SMs and accumulating more faults in the fault buffer."
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/report.h"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      0.4 * static_cast<double>(gpu_bytes()));
+
+  for (const std::string wl : {"regular", "random", "sgemm"}) {
+    Table t({"batch_size", "kernel_time", "passes", "avg_faults_per_pass",
+             "stall_ms", "dup+stale"});
+    for (std::uint32_t bs : {16u, 64u, 256u, 1024u, 4096u}) {
+      SimConfig cfg = base_config();
+      cfg.driver.batch_size = bs;
+      cfg.driver.prefetch_enabled = false;  // isolate batching effects
+      RunResult r = run_workload(cfg, wl, target);
+      double per_pass =
+          r.counters.passes
+              ? static_cast<double>(r.counters.faults_fetched) /
+                    static_cast<double>(r.counters.passes)
+              : 0.0;
+      std::uint64_t stall = 0;
+      for (const auto& k : r.kernels) stall += k.stall_ns;
+      t.add_row({fmt(std::uint64_t{bs}),
+                 format_duration(r.total_kernel_time()),
+                 fmt(r.counters.passes), fmt(per_pass, 4),
+                 fmt(to_ms(stall), 4),
+                 fmt(r.counters.duplicate_faults + r.counters.stale_faults)});
+    }
+    t.print("Ablation 2 — " + wl + " batch-size sweep (prefetch off)");
+  }
+
+  // Tiny batches must cost more driver passes than the default.
+  SimConfig small = base_config(), dflt = base_config();
+  small.driver.batch_size = 16;
+  small.driver.prefetch_enabled = false;
+  dflt.driver.prefetch_enabled = false;
+  RunResult rs = run_workload(small, "regular", target);
+  RunResult rd = run_workload(dflt, "regular", target);
+  shape_check("tiny batches need many more driver passes",
+              rs.counters.passes > 2 * rd.counters.passes);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation 9: x86 (4 KB base pages + 64 KB upgrade) vs Power9 (native
+// 64 KB base pages).
+//
+// Grounding: the paper notes the prefetcher's upgrade stage "emulates the
+// behavior of Power9 systems (64KB pages) on x86 systems (4KB pages)"
+// (§IV-A), and cites Gayatri et al. [14], who compare managed memory across
+// the two architectures. Native 64 KB base pages mean one fault covers the
+// whole region (16x fewer fault entries) and service is inherently
+// 64 KB-granular — the question is how much of that the x86 upgrade
+// emulation recovers.
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/report.h"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  struct Mode {
+    const char* name;
+    std::uint64_t host_page;
+    bool upgrade;
+  };
+  const Mode modes[] = {
+      {"x86_4k_density_only", 4 << 10, false},
+      {"x86_4k_upgrade", 4 << 10, true},
+      {"power9_64k", 64 << 10, true},  // set_host_page_size disables upgrade
+  };
+
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      0.5 * static_cast<double>(gpu_bytes()));
+
+  for (const std::string wl : {"regular", "random", "stream"}) {
+    Table t({"mode", "kernel_time", "faults", "faults_serviced",
+             "prefetched", "passes"});
+    std::uint64_t faults_plain = 0, faults_x86 = 0, faults_p9 = 0;
+    SimDuration t_x86 = 0, t_p9 = 0;
+
+    for (const Mode& m : modes) {
+      SimConfig cfg = base_config();
+      cfg.set_host_page_size(m.host_page);
+      if (m.host_page == (4u << 10)) {
+        cfg.driver.big_page_upgrade = m.upgrade;
+      }
+      RunResult r = run_workload(cfg, wl, target);
+      if (std::string(m.name) == "x86_4k_density_only") {
+        faults_plain = r.counters.faults_fetched;
+      }
+      if (std::string(m.name) == "x86_4k_upgrade") {
+        faults_x86 = r.counters.faults_fetched;
+        t_x86 = r.total_kernel_time();
+      }
+      if (std::string(m.name) == "power9_64k") {
+        faults_p9 = r.counters.faults_fetched;
+        t_p9 = r.total_kernel_time();
+      }
+      t.add_row({m.name, format_duration(r.total_kernel_time()),
+                 fmt(r.counters.faults_fetched),
+                 fmt(r.counters.faults_serviced),
+                 fmt(r.counters.pages_prefetched), fmt(r.counters.passes)});
+    }
+    t.print("Ablation 9 — " + wl + ": x86 4K pages vs Power9 64K pages");
+
+    shape_check("(" + wl + ") native 64K pages raise far fewer faults than "
+                "plain 4K paging",
+                faults_p9 * 4 < faults_plain);
+    shape_check("(" + wl + ") the upgrade stage cuts faults beyond the "
+                "density stage alone",
+                faults_x86 < faults_plain);
+    shape_check("(" + wl + ") x86+upgrade performance within ~3x of native "
+                "64K pages",
+                t_x86 < 3 * t_p9 && t_p9 < 3 * t_x86);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the reproduction benches.
+//
+// Scale: the paper's testbed is a 12 GB Titan V; the benches default to a
+// 128 MiB simulated GPU so the whole suite finishes in minutes. Every claim
+// is about ratios (data size as % of GPU memory), so shapes are
+// scale-invariant. Override with the UVMSIM_GPU_MIB environment variable,
+// or set UVMSIM_FAST=1 to shrink sweeps for smoke runs.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "core/simulator.h"
+#include "workloads/registry.h"
+
+namespace uvmsim::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoull(v, nullptr, 10) : def;
+}
+
+inline bool fast_mode() { return env_u64("UVMSIM_FAST", 0) != 0; }
+
+inline std::uint64_t gpu_bytes() {
+  return env_u64("UVMSIM_GPU_MIB", fast_mode() ? 48 : 128) << 20;
+}
+
+inline SimConfig base_config(bool fault_log = false) {
+  SimConfig cfg;
+  cfg.set_gpu_memory(gpu_bytes());
+  cfg.enable_fault_log = fault_log;
+  return cfg;
+}
+
+/// Runs one workload under the given config and returns the result.
+inline RunResult run_workload(const SimConfig& cfg, const std::string& name,
+                              std::uint64_t target_bytes) {
+  Simulator sim(cfg);
+  auto wl = make_workload(name, target_bytes);
+  wl->setup(sim);
+  return sim.run();
+}
+
+/// Data sizes as fractions of GPU memory for undersubscribed sweeps.
+inline std::vector<double> undersub_ratios() {
+  if (fast_mode()) return {0.05, 0.25, 0.75};
+  return {0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 0.75};
+}
+
+/// Fractions crossing into oversubscription.
+inline std::vector<double> oversub_ratios() {
+  if (fast_mode()) return {0.95, 1.2};
+  return {0.95, 1.05, 1.2, 1.35, 1.5};
+}
+
+}  // namespace uvmsim::bench

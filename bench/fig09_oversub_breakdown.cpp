@@ -1,0 +1,90 @@
+// Figure 9 reproduction: driver cost breakdown for oversubscribed problem
+// sizes, regular vs random.
+//
+// Paper claims (§V-A3):
+//  * access patterns differ by an order of magnitude in performance under
+//    oversubscription — the 4 KB-demand vs 2 MB-allocation asymmetry makes
+//    random exhaust GPU memory with mostly-empty blocks;
+//  * random moves far more data than its footprint (paper: 504 GB for a
+//    32 GB problem at ~267 % of GPU memory) while regular moves about its
+//    footprint.
+//
+// Model note (see EXPERIMENTS.md): the paper additionally observes that
+// disabling prefetching helps oversubscribed performance; in this simulator
+// prefetching instead mitigates random's block-level thrash (prefetched
+// pages are consumed per-lane as soon as they arrive), so that sub-claim is
+// reported as a deviation rather than asserted. The allocation-granularity
+// asymmetry itself shows up without prefetching as an explosion of
+// evictions of mostly-empty blocks — asserted below.
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/report.h"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  SimConfig cfg = base_config();
+  // The random thrash is the expensive part; cap the machine so absolute
+  // work stays bounded (ratios are what matter).
+  cfg.set_gpu_memory(std::min<std::uint64_t>(gpu_bytes(), 64ull << 20));
+  cfg.enable_fault_log = false;
+
+  Table t({"oversub", "pattern", "prefetch", "kernel_time", "map+migrate",
+           "evict", "faults", "evictions", "h2d_over_footprint"});
+
+  SimDuration time_regular_pf = 0, time_random_pf = 0;
+  double amp_regular = 0, amp_random = 0;
+  std::uint64_t evict_regular = 0, evict_random_nopf = 0;
+
+  std::vector<double> ratios = fast_mode() ? std::vector<double>{2.0}
+                                           : std::vector<double>{1.5, 2.0};
+  for (double ratio : ratios) {
+    auto target = static_cast<std::uint64_t>(
+        ratio * static_cast<double>(cfg.gpu_memory()));
+    for (const std::string wl : {"regular", "random"}) {
+      for (bool prefetch : {true, false}) {
+        SimConfig c = cfg;
+        c.driver.prefetch_enabled = prefetch;
+        RunResult r = run_workload(c, wl, target);
+        double amp = static_cast<double>(r.bytes_h2d) /
+                     static_cast<double>(r.total_bytes);
+        if (ratio == ratios.back()) {
+          if (wl == "regular" && prefetch) {
+            time_regular_pf = r.total_kernel_time();
+            amp_regular = amp;
+          }
+          if (wl == "regular" && !prefetch) {
+            evict_regular = r.counters.evictions;
+          }
+          if (wl == "random" && prefetch) {
+            time_random_pf = r.total_kernel_time();
+            amp_random = amp;
+          }
+          if (wl == "random" && !prefetch) {
+            evict_random_nopf = r.counters.evictions;
+          }
+        }
+        t.add_row(
+            {fmt(100.0 * ratio, 3) + "%", wl, prefetch ? "on" : "off",
+             format_duration(r.total_kernel_time()),
+             format_duration(r.profiler.total(CostCategory::ServiceMap) +
+                             r.profiler.total(CostCategory::ServiceMigrate)),
+             format_duration(r.profiler.total(CostCategory::Eviction)),
+             fmt(r.counters.faults_fetched), fmt(r.counters.evictions),
+             fmt(amp, 3)});
+      }
+    }
+  }
+  t.print("Fig. 9 — oversubscribed breakdown, regular vs random");
+
+  shape_check("random is many times slower than regular when oversubscribed",
+              time_random_pf > 3 * time_regular_pf);
+  shape_check("random's H2D traffic is amplified far beyond its footprint "
+              "(regular moves ~1x)",
+              amp_random > 3.0 && amp_regular < 1.5);
+  shape_check("4KB-demand/2MB-allocation asymmetry: random evicts orders of "
+              "magnitude more often than regular",
+              evict_random_nopf > 10 * std::max<std::uint64_t>(evict_regular, 1));
+  return 0;
+}

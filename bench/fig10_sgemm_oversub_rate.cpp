@@ -1,0 +1,68 @@
+// Figure 10 reproduction: sgemm compute rate (flops/s) vs oversubscription,
+// alongside the growth in data movement.
+//
+// Paper claims (§V-A3):
+//  * compute rate decreases as oversubscription increases;
+//  * degradation is sharpest past ~120 %, where the working set no longer
+//    fits and data is evicted before use.
+#include <cmath>
+#include <span>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/report.h"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  SimConfig cfg = base_config();
+
+  std::vector<double> ratios = {0.6, 0.8, 0.95, 1.05, 1.2, 1.35, 1.5};
+  if (fast_mode()) ratios = {0.8, 1.05, 1.35};
+
+  Table t({"oversub_pct", "n", "kernel_time", "gflops_equiv", "bytes_moved",
+           "move_over_footprint"});
+  std::vector<double> rates;
+  double rate_under = 0, rate_over_min = 1e30, rate_120 = 0, rate_150 = 0;
+
+  for (double ratio : ratios) {
+    auto target = static_cast<std::uint64_t>(
+        ratio * static_cast<double>(cfg.gpu_memory()));
+    Simulator sim(cfg);
+    auto wl = make_workload("sgemm", target);
+    wl->setup(sim);
+    RunResult r = sim.run();
+
+    double rate = r.compute_rate() / 1e9;
+    rates.push_back(rate);
+    if (ratio <= 0.95) rate_under = std::max(rate_under, rate);
+    if (ratio >= 0.99) rate_over_min = std::min(rate_over_min, rate);
+    if (ratio == 1.2) rate_120 = rate;
+    if (ratio == 1.5) rate_150 = rate;
+
+    std::uint64_t moved = r.bytes_h2d + r.bytes_d2h;
+    t.add_row({fmt(100.0 * r.oversubscription(), 4),
+               fmt(std::uint64_t(std::sqrt(static_cast<double>(r.total_bytes) / 12.0))),
+               format_duration(r.total_kernel_time()), fmt(rate, 4),
+               format_bytes(moved),
+               fmt(static_cast<double>(moved) /
+                       static_cast<double>(r.total_bytes),
+                   3)});
+  }
+  t.print("Fig. 10 — sgemm compute rate vs oversubscription");
+
+  // Rate per ratio should broadly decline once oversubscribed.
+  std::vector<double> inv;
+  for (double x : rates) inv.push_back(1.0 / x);
+  shape_check("compute rate declines as oversubscription grows",
+              roughly_monotonic_increasing(
+                  std::span<const double>(inv).subspan(2), 0.15));
+  if (!fast_mode()) {
+    shape_check("crossing capacity costs real throughput (>= 25 % drop from "
+                "the best in-core rate)",
+                rate_over_min < 0.75 * rate_under);
+    shape_check("degradation deepens past 120 %", rate_150 < rate_120);
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Google-benchmark micro-benchmarks for the hot driver-side data
+// structures: prefetch-tree construction/expansion, fault-buffer push/pop,
+// batch pre-processing, page-mask run decomposition, LRU operations, and the
+// event queue.
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.h"
+#include "gpu/fault_buffer.h"
+#include "mem/page_mask.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "uvm/eviction_lru.h"
+#include "uvm/fault_batch.h"
+#include "uvm/prefetch_tree.h"
+#include "uvm/prefetcher.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace uvmsim;
+
+void BM_PrefetchTreeBuild(benchmark::State& state) {
+  Rng rng(7);
+  PageMask occupied;
+  for (int i = 0; i < 200; ++i) {
+    occupied.set(static_cast<std::uint32_t>(rng.next_below(kPagesPerBlock)));
+  }
+  for (auto _ : state) {
+    PrefetchTree tree(occupied, kPagesPerBlock);
+    benchmark::DoNotOptimize(tree.count(0, 0));
+  }
+}
+BENCHMARK(BM_PrefetchTreeBuild);
+
+void BM_PrefetchTreeExpand(benchmark::State& state) {
+  Rng rng(7);
+  PageMask occupied;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    occupied.set(static_cast<std::uint32_t>(rng.next_below(kPagesPerBlock)));
+  }
+  std::uint32_t leaf = occupied.set_indices().front();
+  for (auto _ : state) {
+    PrefetchTree tree(occupied, kPagesPerBlock);
+    benchmark::DoNotOptimize(tree.expand(leaf, 51));
+  }
+}
+BENCHMARK(BM_PrefetchTreeExpand)->Arg(16)->Arg(128)->Arg(400);
+
+void BM_PrefetcherTwoStage(benchmark::State& state) {
+  VaBlock blk;
+  blk.range = 0;
+  blk.num_pages = kPagesPerBlock;
+  Rng rng(11);
+  PageMask faults;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    faults.set(static_cast<std::uint32_t>(rng.next_below(kPagesPerBlock)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Prefetcher::compute(blk, faults, true, 51));
+  }
+}
+BENCHMARK(BM_PrefetcherTwoStage)->Arg(4)->Arg(64)->Arg(256);
+
+void BM_FaultBufferPushPop(benchmark::State& state) {
+  FaultBuffer fb(FaultBuffer::Config{});
+  FaultEntry e;
+  e.page = 42;
+  for (auto _ : state) {
+    fb.push(e, 0);
+    benchmark::DoNotOptimize(fb.pop());
+  }
+}
+BENCHMARK(BM_FaultBufferPushPop);
+
+void BM_BatchPreprocess(benchmark::State& state) {
+  CostModel cm;
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    FaultBuffer fb(FaultBuffer::Config{});
+    for (int i = 0; i < 256; ++i) {
+      FaultEntry e;
+      e.page = rng.next_below(64 * kPagesPerBlock);
+      e.block = block_of_page(e.page);
+      fb.push(e, 0);
+    }
+    state.ResumeTiming();
+    SimTime t = 1'000'000;
+    benchmark::DoNotOptimize(Preprocessor::fetch(fb, 256, cm, t));
+  }
+}
+BENCHMARK(BM_BatchPreprocess);
+
+void BM_PageMaskRuns(benchmark::State& state) {
+  Rng rng(17);
+  PageMask m;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    m.set(static_cast<std::uint32_t>(rng.next_below(kPagesPerBlock)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.runs());
+  }
+}
+BENCHMARK(BM_PageMaskRuns)->Arg(8)->Arg(128)->Arg(512);
+
+void BM_LruTouchEvict(benchmark::State& state) {
+  LruEviction lru;
+  for (std::uint64_t b = 0; b < 64; ++b) lru.on_slice_allocated({b, 0});
+  std::uint64_t i = 0;
+  auto any = [](SliceKey) { return true; };
+  for (auto _ : state) {
+    lru.on_slice_touched({i++ % 64, 0});
+    benchmark::DoNotOptimize(lru.pick_victim(any));
+  }
+}
+BENCHMARK(BM_LruTouchEvict);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  // Host-side throughput of the whole simulator: one small demand-paged
+  // run per iteration. Reported rate = simulated faults per wall second.
+  std::uint64_t faults = 0;
+  for (auto _ : state) {
+    SimConfig cfg;
+    cfg.set_gpu_memory(32ull << 20);
+    cfg.enable_fault_log = false;
+    Simulator sim(cfg);
+    auto wl = make_workload("regular", 4ull << 20);
+    wl->setup(sim);
+    RunResult r = sim.run();
+    faults += r.counters.faults_fetched;
+    benchmark::DoNotOptimize(r.end_time);
+  }
+  state.counters["faults/s"] = benchmark::Counter(
+      static_cast<double>(faults), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndOversubscribed(benchmark::State& state) {
+  for (auto _ : state) {
+    SimConfig cfg;
+    cfg.set_gpu_memory(16ull << 20);
+    cfg.enable_fault_log = false;
+    Simulator sim(cfg);
+    auto wl = make_workload("regular", 24ull << 20);
+    wl->setup(sim);
+    benchmark::DoNotOptimize(sim.run().counters.evictions);
+  }
+}
+BENCHMARK(BM_EndToEndOversubscribed)->Unit(benchmark::kMillisecond);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(static_cast<SimTime>(i * 7 % 991), [&sink] { ++sink; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

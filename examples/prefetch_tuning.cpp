@@ -1,0 +1,76 @@
+// Prefetch tuning walkthrough: how the density threshold, the big-page
+// upgrade, and adaptive mode change a workload's fault count and runtime.
+//
+//   ./build/examples/prefetch_tuning [workload] [size_mib]
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/report.h"
+#include "core/simulator.h"
+#include "workloads/registry.h"
+
+namespace {
+
+uvmsim::RunResult run(const uvmsim::SimConfig& cfg, const std::string& name,
+                      std::uint64_t bytes) {
+  uvmsim::Simulator sim(cfg);
+  auto wl = uvmsim::make_workload(name, bytes);
+  wl->setup(sim);
+  return sim.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace uvmsim;
+
+  const std::string name = argc > 1 ? argv[1] : "tealeaf";
+  const std::uint64_t bytes = (argc > 2 ? std::stoull(argv[2]) : 48) << 20;
+
+  SimConfig base;
+  base.set_gpu_memory(128ull << 20);
+  base.enable_fault_log = false;
+
+  Table t({"config", "kernel_time", "faults", "prefetched",
+           "wasted_prefetch", "bytes_h2d"});
+
+  auto row = [&](const std::string& label, const SimConfig& cfg) {
+    RunResult r = run(cfg, name, bytes);
+    t.add_row({label, format_duration(r.total_kernel_time()),
+               fmt(r.counters.faults_fetched),
+               fmt(r.counters.pages_prefetched),
+               fmt(r.wasted_prefetch_at_end), format_bytes(r.bytes_h2d)});
+    return r;
+  };
+
+  {
+    SimConfig cfg = base;
+    cfg.driver.prefetch_enabled = false;
+    row("prefetch off", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.driver.big_page_upgrade = true;
+    cfg.driver.prefetch_threshold = 101;  // upgrade only, no density stage
+    row("64KiB upgrade only", cfg);
+  }
+  for (std::uint32_t th : {76u, 51u, 26u, 1u}) {
+    SimConfig cfg = base;
+    cfg.driver.prefetch_threshold = th;
+    row("threshold " + std::to_string(th) + "%", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.driver.adaptive_prefetch = true;
+    row("adaptive", cfg);
+  }
+
+  t.print("prefetch tuning: " + name + " (" + format_bytes(bytes) + " on " +
+          format_bytes(base.gpu_memory()) + " GPU)");
+  std::cout << "Lower thresholds prefetch more aggressively; the paper "
+               "(§IV-C) finds 1 % rivals explicit transfer while the data "
+               "fits on the GPU.\n";
+  return 0;
+}

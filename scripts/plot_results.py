@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Plot the reproduction figures from bench CSV output.
+
+Every bench binary prints its data twice: an aligned table and CSV lines
+prefixed with "csv,". This script parses the CSV out of saved bench outputs
+(results/*.txt) and renders matplotlib figures mirroring the paper's.
+
+Usage:
+    for b in build/bench/*; do n=$(basename $b); $b > results/$n.txt; done
+    python3 scripts/plot_results.py results/ plots/
+
+matplotlib is optional at build time; the script fails gracefully with a
+message if it is unavailable.
+"""
+
+import csv
+import io
+import pathlib
+import sys
+
+
+def parse_csv_blocks(path):
+    """Returns a list of csv blocks; each block is a list of row dicts."""
+    blocks = []
+    current = []
+    header = None
+    for line in path.read_text().splitlines():
+        if not line.startswith("csv,"):
+            if header:
+                blocks.append((header, current))
+                header, current = None, []
+            continue
+        cells = next(csv.reader(io.StringIO(line[4:])))
+        if header is None:
+            header = cells
+        elif len(cells) == len(header):
+            current.append(dict(zip(header, cells)))
+        else:  # a new block with a different width
+            blocks.append((header, current))
+            header, current = cells, []
+    if header:
+        blocks.append((header, current))
+    return blocks
+
+
+def to_us(text):
+    """Parses the benches' duration strings ('412 us', '1.2 ms', '3 s')."""
+    value, unit = text.split()
+    scale = {"us": 1.0, "ms": 1e3, "s": 1e6}[unit]
+    return float(value) * scale
+
+
+def plot_fig01(results, outdir, plt):
+    path = results / "fig01_uvm_vs_explicit.txt"
+    if not path.exists():
+        return
+    blocks = [b for h, b in parse_csv_blocks(path) if h and h[0] == "size_pct"]
+    fig, axes = plt.subplots(1, len(blocks), figsize=(6 * len(blocks), 4))
+    if len(blocks) == 1:
+        axes = [axes]
+    for ax, rows, name in zip(axes, blocks, ["regular", "random"]):
+        xs = [float(r["size_pct"]) for r in rows]
+        for col, label in [("explicit", "explicit transfer"),
+                           ("uvm_nopf", "UVM, no prefetch"),
+                           ("uvm_pf", "UVM, prefetch")]:
+            ax.plot(xs, [to_us(r[col]) for r in rows], marker="o", label=label)
+        ax.axvline(100, color="grey", linestyle=":", label="GPU capacity")
+        ax.set_xlabel("data size (% of GPU memory)")
+        ax.set_ylabel("cumulative access latency (us)")
+        ax.set_yscale("log")
+        ax.set_title(f"Fig. 1 — {name} page touch")
+        ax.legend()
+    fig.tight_layout()
+    fig.savefig(outdir / "fig01.png", dpi=150)
+
+
+def plot_fig07(results, outdir, plt):
+    path = results / "fig07_access_patterns.txt"
+    if not path.exists():
+        return
+    blocks = [(h, b) for h, b in parse_csv_blocks(path)
+              if h and h[0] == "workload" and "adj_page" in h]
+    if not blocks:
+        return
+    rows = [r for _, b in blocks for r in b]
+    names = sorted({r["workload"] for r in rows})
+    fig, axes = plt.subplots(2, (len(names) + 1) // 2, figsize=(16, 7))
+    for ax, name in zip(axes.flat, names):
+        pts = [r for r in rows if r["workload"] == name]
+        ax.scatter([int(r["order"]) for r in pts],
+                   [int(r["adj_page"]) for r in pts], s=2)
+        ax.set_title(name)
+        ax.set_xlabel("fault occurrence")
+        ax.set_ylabel("page index")
+    fig.suptitle("Fig. 7 — access patterns (prefetch off)")
+    fig.tight_layout()
+    fig.savefig(outdir / "fig07.png", dpi=150)
+
+
+def plot_fig10(results, outdir, plt):
+    path = results / "fig10_sgemm_oversub_rate.txt"
+    if not path.exists():
+        return
+    blocks = [b for h, b in parse_csv_blocks(path) if h and h[0] == "oversub_pct"]
+    if not blocks:
+        return
+    rows = blocks[0]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot([float(r["oversub_pct"]) for r in rows],
+            [float(r["gflops_equiv"]) for r in rows], marker="o")
+    ax.axvline(100, color="grey", linestyle=":")
+    ax.set_xlabel("oversubscription (%)")
+    ax.set_ylabel("compute rate (gflops-equivalent)")
+    ax.set_title("Fig. 10 — sgemm compute rate vs oversubscription")
+    fig.tight_layout()
+    fig.savefig(outdir / "fig10.png", dpi=150)
+
+
+def plot_table1(results, outdir, plt):
+    path = results / "table1_fault_reduction.txt"
+    if not path.exists():
+        return
+    blocks = [b for h, b in parse_csv_blocks(path) if h and h[0] == "workload"]
+    if not blocks:
+        return
+    rows = blocks[0]
+    fig, ax = plt.subplots(figsize=(8, 4))
+    names = [r["workload"] for r in rows]
+    xs = range(len(names))
+    ax.bar([x - 0.2 for x in xs],
+           [float(r["reduction_pct"]) for r in rows], width=0.4,
+           label="measured")
+    ax.bar([x + 0.2 for x in xs],
+           [float(r["paper_reduction_pct"]) for r in rows], width=0.4,
+           label="paper")
+    ax.set_xticks(list(xs), names, rotation=30)
+    ax.set_ylabel("fault reduction (%)")
+    ax.set_title("Table I — prefetcher fault coverage")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(outdir / "table1.png", dpi=150)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; install it to render plots")
+        return 1
+    results = pathlib.Path(sys.argv[1])
+    outdir = pathlib.Path(sys.argv[2])
+    outdir.mkdir(parents=True, exist_ok=True)
+    plot_fig01(results, outdir, plt)
+    plot_fig07(results, outdir, plt)
+    plot_fig10(results, outdir, plt)
+    plot_table1(results, outdir, plt)
+    print(f"plots written to {outdir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+// Explicit direct-transfer baseline (paper Fig. 1's "direct data transfer").
+//
+// Models the hand-managed cudaMalloc + cudaMemcpy flow: all managed ranges
+// are copied host-to-device up front in one coalesced transfer per range at
+// full interconnect bandwidth, the kernels run with every page resident (no
+// faults, no driver), and written ranges are optionally copied back. This is
+// an idealized baseline — for oversubscribed sizes a real explicit port
+// would need application-level chunking, so the baseline numbers there
+// represent the unreachable no-paging bound the paper plots against.
+#pragma once
+
+#include <memory>
+
+#include "core/run_result.h"
+#include "core/simulator.h"
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+struct ExplicitResult {
+  SimDuration h2d_time = 0;     ///< upfront bulk copies
+  SimDuration kernel_time = 0;  ///< fault-free execution
+  SimDuration total = 0;        ///< h2d + kernels
+  std::uint64_t bytes_copied = 0;
+  RunResult run;                ///< full result of the fault-free run
+};
+
+class ExplicitTransfer {
+ public:
+  /// Runs `workload` under explicit management with the given config (the
+  /// driver stays idle: every page is resident before launch).
+  static ExplicitResult run(const SimConfig& cfg, Workload& workload);
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,10 @@
+#include "core/experiment.h"
+
+namespace uvmsim {
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace uvmsim

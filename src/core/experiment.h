@@ -1,0 +1,32 @@
+// Parallel experiment sweeps.
+//
+// Individual simulations are strictly single-threaded and deterministic;
+// sweeps over independent parameter points are embarrassingly parallel, so
+// the harness fans them out on a ThreadPool. Results come back in input
+// order regardless of completion order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/thread_pool.h"
+
+namespace uvmsim {
+
+/// Runs every job on the shared pool and returns results in input order.
+template <typename T>
+std::vector<T> run_sweep(std::vector<std::function<T()>> jobs,
+                         ThreadPool& pool) {
+  std::vector<std::future<T>> futs;
+  futs.reserve(jobs.size());
+  for (auto& j : jobs) futs.push_back(pool.submit(std::move(j)));
+  std::vector<T> out;
+  out.reserve(futs.size());
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
+}
+
+/// Lazily constructed process-wide pool for bench harnesses.
+ThreadPool& shared_pool();
+
+}  // namespace uvmsim

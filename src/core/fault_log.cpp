@@ -1,0 +1,3 @@
+#include "core/fault_log.h"
+
+// Header-only; TU anchors the header in the build.

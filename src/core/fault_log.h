@@ -1,0 +1,56 @@
+// Serviced-fault and eviction trace, ordered by driver processing time.
+//
+// This is the data behind the paper's access-pattern figures: Fig. 7 plots
+// "fault occurrence" (the relative order pages were processed by the driver)
+// against a gap-adjusted virtual page index, and Fig. 8 overlays eviction
+// events at the time step they were issued.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/constants.h"
+#include "sim/time.h"
+
+namespace uvmsim {
+
+enum class FaultLogKind : std::uint8_t {
+  Fault,     ///< a page fault serviced by the driver
+  Prefetch,  ///< a page migrated by the prefetcher (no fault of its own)
+  Eviction,  ///< an allocation slice evicted (page = slice's first page)
+};
+
+struct FaultLogEntry {
+  std::uint64_t order = 0;  ///< driver processing order (monotone)
+  SimTime time = 0;         ///< simulated time the driver handled it
+  FaultLogKind kind = FaultLogKind::Fault;
+  VirtPage page = 0;
+  VaBlockId block = 0;
+  RangeId range = kInvalidRange;
+  bool duplicate = false;   ///< batch-dedup or already-resident (stale)
+};
+
+class FaultLog {
+ public:
+  /// Disabled logs drop entries (zero overhead for big sweeps).
+  explicit FaultLog(bool enabled = true) : enabled_(enabled) {}
+
+  void record(FaultLogEntry e) {
+    if (!enabled_) return;
+    e.order = next_order_++;
+    entries_.push_back(e);
+  }
+
+  [[nodiscard]] const std::vector<FaultLogEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  bool enabled_;
+  std::uint64_t next_order_ = 0;
+  std::vector<FaultLogEntry> entries_;
+};
+
+}  // namespace uvmsim

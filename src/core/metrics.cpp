@@ -1,0 +1,57 @@
+#include "core/metrics.h"
+
+#include <array>
+#include <cstdio>
+
+namespace uvmsim {
+
+double fault_reduction_percent(std::uint64_t faults_without,
+                               std::uint64_t faults_with) {
+  if (faults_without == 0) return 0.0;
+  double kept = static_cast<double>(faults_with) /
+                static_cast<double>(faults_without);
+  return (1.0 - kept) * 100.0;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g %s", v, kUnits[u]);
+  return buf;
+}
+
+std::string format_duration(SimDuration d) {
+  char buf[32];
+  if (d < 10 * kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3g us", to_us(d));
+  } else if (d < 10 * kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.4g us", to_us(d));
+  } else if (d < 10 * kSecond) {
+    std::snprintf(buf, sizeof buf, "%.4g ms", to_ms(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g s", to_s(d));
+  }
+  return buf;
+}
+
+bool roughly_monotonic_increasing(std::span<const double> xs,
+                                  double tolerance) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] < xs[i - 1] * (1.0 - tolerance)) return false;
+  }
+  return true;
+}
+
+double slowdown(SimDuration a, SimDuration b) {
+  if (a == 0) return 0.0;
+  return static_cast<double>(b) / static_cast<double>(a);
+}
+
+}  // namespace uvmsim

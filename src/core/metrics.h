@@ -1,0 +1,31 @@
+// Derived metrics and shape-check helpers used by benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/run_result.h"
+
+namespace uvmsim {
+
+/// Percent of faults eliminated by prefetching (paper Table I, "fault
+/// reduction (%)", equivalently fault coverage).
+[[nodiscard]] double fault_reduction_percent(std::uint64_t faults_without,
+                                             std::uint64_t faults_with);
+
+/// Pretty byte formatter ("1.5 MiB").
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Pretty duration formatter ("412.3 us", "1.27 ms", ...).
+[[nodiscard]] std::string format_duration(SimDuration d);
+
+/// True if the sequence is non-decreasing within a tolerance factor
+/// (shape checks for monotone sweeps; tolerance absorbs simulation noise).
+[[nodiscard]] bool roughly_monotonic_increasing(std::span<const double> xs,
+                                                double tolerance = 0.05);
+
+/// Geometric-mean ratio of b over a (how many times slower b is).
+[[nodiscard]] double slowdown(SimDuration a, SimDuration b);
+
+}  // namespace uvmsim

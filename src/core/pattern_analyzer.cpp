@@ -1,0 +1,159 @@
+#include "core/pattern_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+namespace uvmsim {
+
+PatternStats::Class PatternStats::classification() const {
+  if (samples < 8) return Class::Mixed;
+  if (std::abs(ordering) < 0.25 && locality < 0.35) return Class::Random;
+  if (ordering > 0.6 && interleave > 0.3) return Class::Banded;
+  if (ordering > 0.6 && locality > 0.5) return Class::Sequential;
+  return Class::Mixed;
+}
+
+const char* PatternStats::to_string(Class c) {
+  switch (c) {
+    case Class::Sequential: return "sequential";
+    case Class::Banded: return "banded";
+    case Class::Mixed: return "mixed";
+    case Class::Random: return "random";
+  }
+  return "unknown";
+}
+
+PatternStats PatternAnalyzer::analyze(const std::vector<PatternPoint>& pts) {
+  PatternStats st;
+  st.samples = pts.size();
+  if (pts.size() < 2) return st;
+
+  // Ordering: per-range Pearson correlation of service position vs page
+  // index, weighted by fault count.
+  std::map<RangeId, std::vector<double>> by_range;
+  for (const auto& p : pts) {
+    by_range[p.range].push_back(static_cast<double>(p.adj_page));
+  }
+  double weighted = 0.0;
+  std::size_t total = 0;
+  for (const auto& [range, ys] : by_range) {
+    std::size_t n = ys.size();
+    if (n < 3) continue;
+    double mean_x = static_cast<double>(n - 1) / 2.0;
+    double mean_y = 0;
+    for (double y : ys) mean_y += y;
+    mean_y /= static_cast<double>(n);
+    double sxy = 0, sxx = 0, syy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double dx = static_cast<double>(i) - mean_x;
+      double dy = ys[i] - mean_y;
+      sxy += dx * dy;
+      sxx += dx * dx;
+      syy += dy * dy;
+    }
+    if (sxx == 0 || syy == 0) continue;
+    weighted += (sxy / std::sqrt(sxx * syy)) * static_cast<double>(n);
+    total += n;
+  }
+  st.ordering = total ? weighted / static_cast<double>(total) : 0.0;
+
+  // Locality & interleave over consecutive service pairs.
+  std::size_t near = 0, same_range_pairs = 0, switches = 0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].range != pts[i - 1].range) {
+      ++switches;
+      continue;
+    }
+    ++same_range_pairs;
+    std::uint64_t a = pts[i - 1].adj_page;
+    std::uint64_t b = pts[i].adj_page;
+    std::uint64_t gap = a > b ? a - b : b - a;
+    if (gap <= kPagesPerBigPage) ++near;
+  }
+  st.locality = same_range_pairs
+                    ? static_cast<double>(near) /
+                          static_cast<double>(same_range_pairs)
+                    : 0.0;
+  st.interleave =
+      static_cast<double>(switches) / static_cast<double>(pts.size() - 1);
+  return st;
+}
+
+PatternAnalyzer::PatternAnalyzer(const AddressSpace& as) : as_(&as) {
+  boundaries_.reserve(as.num_ranges());
+  for (const auto& r : as.ranges()) {
+    boundaries_.push_back(total_);
+    total_ += r.num_pages;
+  }
+}
+
+std::uint64_t PatternAnalyzer::adjusted_index(VirtPage p) const {
+  RangeId rid = as_->range_of(p);
+  if (rid == kInvalidRange) return 0;
+  const VaRange& r = as_->range(rid);
+  return boundaries_[rid] + (p - r.first_page);
+}
+
+std::vector<PatternPoint> PatternAnalyzer::points(
+    const std::vector<FaultLogEntry>& log, unsigned kinds_mask) const {
+  std::vector<PatternPoint> out;
+  out.reserve(log.size());
+  for (const auto& e : log) {
+    if ((kinds_mask & (1u << static_cast<int>(e.kind))) == 0) continue;
+    out.push_back(
+        PatternPoint{e.order, adjusted_index(e.page), e.kind, e.range});
+  }
+  return out;
+}
+
+std::string PatternAnalyzer::ascii_scatter(
+    const std::vector<PatternPoint>& pts, std::uint32_t width,
+    std::uint32_t height) const {
+  if (pts.empty() || total_ == 0 || width == 0 || height == 0) return "";
+
+  std::uint64_t max_order = 0;
+  for (const auto& p : pts) max_order = std::max(max_order, p.order);
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+
+  // Range boundary rows.
+  for (std::uint64_t b : boundaries_) {
+    if (b == 0) continue;
+    auto row = static_cast<std::uint32_t>(
+        (height - 1) -
+        std::min<std::uint64_t>(height - 1, b * height / total_));
+    grid[row] = std::string(width, '-');
+  }
+
+  auto put = [&](std::uint64_t order, std::uint64_t adj, char c) {
+    auto col = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(width - 1, order * width / (max_order + 1)));
+    auto row = static_cast<std::uint32_t>(
+        (height - 1) -
+        std::min<std::uint64_t>(height - 1, adj * height / total_));
+    char& cell = grid[row][col];
+    // Eviction marks dominate, then prefetch, then faults.
+    if (c == 'E' || cell == ' ' || (cell == '.' && c == '+') || cell == '-') {
+      cell = c;
+    }
+  };
+
+  for (const auto& p : pts) {
+    char c = p.kind == FaultLogKind::Eviction
+                 ? 'E'
+                 : (p.kind == FaultLogKind::Prefetch ? '+' : '.');
+    put(p.order, p.adj_page, c);
+  }
+
+  std::string out;
+  out.reserve((width + 1) * height);
+  for (const auto& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,84 @@
+// Page-granularity access-pattern analysis (paper §IV-B, Figs. 7 & 8).
+//
+// Converts a FaultLog into the paper's plot coordinates: x = fault
+// occurrence (driver processing order), y = virtual page index adjusted so
+// there are no gaps between allocations ("the page index is ... adjusted so
+// that there are no gaps in the virtual memory space"). Range boundaries
+// (the black lines in Fig. 7) come out as prefix sums of range sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fault_log.h"
+#include "mem/address_space.h"
+
+namespace uvmsim {
+
+struct PatternPoint {
+  std::uint64_t order = 0;     ///< driver processing order
+  std::uint64_t adj_page = 0;  ///< gap-adjusted page index
+  FaultLogKind kind = FaultLogKind::Fault;
+  RangeId range = kInvalidRange;
+};
+
+/// Quantitative characterization of a fault pattern, in the terms §IV-B
+/// uses to discuss the workloads.
+struct PatternStats {
+  /// Per-allocation order/page-index Pearson correlation, count-weighted:
+  /// 1.0 = each allocation swept strictly in order, ~0 = random.
+  double ordering = 0.0;
+  /// Fraction of consecutive same-range faults within a 64 KB big page of
+  /// each other (spatial locality as the prefetcher's upgrade stage sees
+  /// it).
+  double locality = 0.0;
+  /// Fraction of consecutive faults that switch allocations (the
+  /// multi-vector banding of stream/tealeaf).
+  double interleave = 0.0;
+  std::size_t samples = 0;
+
+  enum class Class { Sequential, Banded, Mixed, Random };
+  [[nodiscard]] Class classification() const;
+  [[nodiscard]] static const char* to_string(Class c);
+};
+
+class PatternAnalyzer {
+ public:
+  explicit PatternAnalyzer(const AddressSpace& as);
+
+  /// Gap-adjusted page index of a global page (its offset within its range
+  /// plus the total pages of all earlier ranges).
+  [[nodiscard]] std::uint64_t adjusted_index(VirtPage p) const;
+
+  /// Converts log entries to plot points; `kinds_mask` selects entry kinds
+  /// (bitwise OR of 1 << static_cast<int>(kind)).
+  [[nodiscard]] std::vector<PatternPoint> points(
+      const std::vector<FaultLogEntry>& log,
+      unsigned kinds_mask = ~0u) const;
+
+  /// Computes the ordering/locality/interleave statistics of a point
+  /// sequence (typically the Fault-kind points of one run).
+  [[nodiscard]] static PatternStats analyze(
+      const std::vector<PatternPoint>& pts);
+
+  /// Adjusted index of each range's first page — the Fig. 7 boundary lines.
+  [[nodiscard]] const std::vector<std::uint64_t>& range_boundaries() const {
+    return boundaries_;
+  }
+  [[nodiscard]] std::uint64_t total_adjusted_pages() const { return total_; }
+
+  /// Renders an ASCII scatter of points into a width x height grid: '.' for
+  /// faults, '+' for prefetches, 'E' for evictions, '-' rows for range
+  /// boundaries. A cheap stand-in for the paper's scatter plots.
+  [[nodiscard]] std::string ascii_scatter(
+      const std::vector<PatternPoint>& pts, std::uint32_t width = 100,
+      std::uint32_t height = 30) const;
+
+ private:
+  const AddressSpace* as_;
+  std::vector<std::uint64_t> boundaries_;  ///< per-range adjusted start
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace uvmsim

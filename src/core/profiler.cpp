@@ -1,0 +1,29 @@
+#include "core/profiler.h"
+
+namespace uvmsim {
+
+std::string_view to_string(CostCategory c) {
+  switch (c) {
+    case CostCategory::PreProcess: return "pre_process";
+    case CostCategory::ServicePmaAlloc: return "pma_alloc_pages";
+    case CostCategory::ServiceZero: return "zero_pages";
+    case CostCategory::ServiceMigrate: return "migrate_pages";
+    case CostCategory::ServiceMap: return "map_pages";
+    case CostCategory::ServiceOther: return "service_other";
+    case CostCategory::ReplayPolicy: return "replay_policy";
+    case CostCategory::Eviction: return "eviction";
+    case CostCategory::kCount: break;
+  }
+  return "unknown";
+}
+
+Profiler Profiler::since(const Profiler& earlier) const {
+  Profiler d;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    d.totals_[i] = totals_[i] - earlier.totals_[i];
+    d.counts_[i] = counts_[i] - earlier.counts_[i];
+  }
+  return d;
+}
+
+}  // namespace uvmsim

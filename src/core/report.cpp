@@ -1,0 +1,80 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace uvmsim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      w[c] = std::max(w[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  ";
+      os.width(static_cast<std::streamsize>(w[c]));
+      os << row[c];
+    }
+    os << '\n';
+  };
+  os << std::right;
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < w.size(); ++c) {
+    rule += "  " + std::string(w[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "csv";
+    for (const auto& cell : row) os << ',' << cell;
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::cout << "\n== " << title << " ==\n"
+            << to_text() << '\n'
+            << to_csv() << std::flush;
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, v);
+  return buf;
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+void shape_check(const std::string& claim, bool ok) {
+  std::cout << (ok ? "[SHAPE PASS] " : "[SHAPE FAIL] ") << claim << '\n';
+}
+
+}  // namespace uvmsim

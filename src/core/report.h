@@ -1,0 +1,46 @@
+// Table / CSV emitters for the benchmark harnesses.
+//
+// Each bench binary prints (a) an aligned human-readable table mirroring the
+// paper's table or figure series, and (b) the same data as CSV prefixed with
+// "csv," so plotting scripts can grep it out.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace uvmsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned text rendering.
+  [[nodiscard]] std::string to_text() const;
+  /// CSV rendering, every line prefixed with "csv,".
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: prints both renderings to stdout with a title.
+  void print(const std::string& title) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits.
+[[nodiscard]] std::string fmt(double v, int digits = 4);
+/// Formats an integer.
+[[nodiscard]] std::string fmt(std::uint64_t v);
+
+/// Prints a PASS/FAIL shape-check verdict line (benches' self-assessment
+/// against the paper's qualitative claims).
+void shape_check(const std::string& claim, bool ok);
+
+}  // namespace uvmsim

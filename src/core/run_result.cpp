@@ -1,0 +1,32 @@
+#include "core/run_result.h"
+
+namespace uvmsim {
+
+SimDuration RunResult::total_kernel_time() const {
+  SimDuration t = 0;
+  for (const auto& k : kernels) t += k.duration();
+  return t;
+}
+
+std::uint64_t RunResult::total_faults_raised() const {
+  std::uint64_t n = 0;
+  for (const auto& k : kernels) n += k.faults_raised;
+  return n;
+}
+
+double RunResult::compute_rate() const {
+  double work = 0.0;
+  for (const auto& k : kernels) work += k.work_units;
+  SimDuration t = total_kernel_time();
+  if (t == 0) return 0.0;
+  return work / to_s(t);
+}
+
+double RunResult::evictions_per_fault() const {
+  std::uint64_t faults = total_faults_raised();
+  if (faults == 0) return 0.0;
+  return static_cast<double>(counters.pages_evicted) /
+         static_cast<double>(faults);
+}
+
+}  // namespace uvmsim

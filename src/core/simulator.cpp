@@ -1,0 +1,96 @@
+#include "core/simulator.h"
+
+#include <stdexcept>
+
+namespace uvmsim {
+
+Simulator::Simulator(const SimConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      pt_(as_),
+      fb_(cfg.fault_buffer),
+      ac_(cfg.access_counters),
+      pma_(cfg.pma),
+      link_(cfg.interconnect),
+      dma_(cfg.dma, link_) {
+  GpuEngine::Config gcfg = cfg_.gpu;
+  gcfg.seed = rng_.next_u64();
+  gpu_ = std::make_unique<GpuEngine>(gcfg, eq_, as_, pt_, fb_, ac_, &link_);
+
+  Driver::Deps deps{&eq_, &as_, &pt_, &fb_, gpu_.get(),
+                    &pma_, &dma_, &ac_};
+  DriverConfig dcfg = cfg_.driver;
+  dcfg.seed = rng_.next_u64();
+  driver_ = std::make_unique<Driver>(dcfg, cfg_.costs, deps,
+                                     cfg_.enable_fault_log);
+  gpu_->set_interrupt_handler([this] { driver_->on_gpu_interrupt(); });
+}
+
+RangeId Simulator::malloc_managed(std::uint64_t bytes, std::string name,
+                                  bool host_populated) {
+  return as_.create_range(bytes, std::move(name), host_populated);
+}
+
+void Simulator::launch(KernelSpec spec, std::uint32_t stream) {
+  kernels_.push_back(std::make_unique<KernelSpec>(std::move(spec)));
+  gpu_->launch(kernels_.back().get(), [this] { ++kernels_completed_; },
+               stream);
+}
+
+void Simulator::prefill_all_resident() {
+  for (std::size_t b = 0; b < as_.num_blocks(); ++b) {
+    VaBlock& blk = as_.block(b);
+    if (!blk.valid()) continue;
+    blk.gpu_resident.set_range(0, blk.num_pages);
+    blk.cpu_resident.clear();
+    blk.backed_slices.set_range(0, kPagesPerBlock);  // nominal backing
+  }
+}
+
+RunResult Simulator::run() {
+  eq_.run();
+
+  if (kernels_completed_ != kernels_.size()) {
+    throw std::runtime_error(
+        "Simulator deadlock: event queue drained with " +
+        std::to_string(kernels_.size() - kernels_completed_) +
+        " kernel(s) unfinished (stalled warps without a pending replay?)");
+  }
+
+  RunResult r;
+  r.end_time = eq_.now();
+  r.kernels = gpu_->kernel_stats();
+  r.counters = driver_->counters();
+  r.profiler = driver_->profiler();
+  if (cfg_.enable_fault_log) r.fault_log = driver_->fault_log().entries();
+
+  r.bytes_h2d = link_.bytes_moved(Direction::HostToDevice);
+  r.bytes_d2h = link_.bytes_moved(Direction::DeviceToHost);
+  r.bytes_zero_copy = link_.zero_copy_bytes(Direction::HostToDevice) +
+                      link_.zero_copy_bytes(Direction::DeviceToHost);
+  r.transfers_h2d = link_.transfers(Direction::HostToDevice);
+  r.transfers_d2h = link_.transfers(Direction::DeviceToHost);
+  r.dma_copy_ops = dma_.copy_ops();
+
+  r.buffer_pushed = fb_.total_pushed();
+  r.buffer_dropped = fb_.total_dropped();
+  r.buffer_flushed = fb_.total_flushed();
+  r.buffer_max_occupancy = fb_.max_occupancy();
+
+  r.pma_rm_calls = pma_.rm_calls();
+  r.total_pages = as_.total_pages();
+  r.total_bytes = as_.total_bytes();
+  r.gpu_capacity_bytes = pma_.capacity_bytes();
+  r.resident_pages_at_end = as_.gpu_resident_pages();
+  for (std::size_t b = 0; b < as_.num_blocks(); ++b) {
+    r.wasted_prefetch_at_end += as_.block(b).prefetched_unused.count();
+  }
+
+  r.utlb_hits = gpu_->utlb_hits();
+  r.utlb_misses = gpu_->utlb_misses();
+  r.stall_latency = gpu_->stall_latency();
+  r.fault_queue_latency = driver_->queue_latency();
+  return r;
+}
+
+}  // namespace uvmsim

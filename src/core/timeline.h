@@ -1,0 +1,45 @@
+// Temporal activity analysis: time-bucketed series of driver events derived
+// from the fault log (the "relative time step" axis of the paper's Fig. 8).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fault_log.h"
+#include "sim/time.h"
+
+namespace uvmsim {
+
+class Timeline {
+ public:
+  /// Builds the series from a fault log with the given bucket width.
+  Timeline(const std::vector<FaultLogEntry>& log, SimDuration bucket_width);
+
+  [[nodiscard]] SimDuration bucket_width() const { return bucket_; }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Events of `kind` in bucket `i`.
+  [[nodiscard]] std::uint64_t count(FaultLogKind kind, std::size_t i) const {
+    return buckets_[i][static_cast<std::size_t>(kind)];
+  }
+
+  /// Whole series for one kind.
+  [[nodiscard]] std::vector<std::uint64_t> series(FaultLogKind kind) const;
+
+  /// Index of the bucket with the most events of `kind` (0 if none).
+  [[nodiscard]] std::size_t peak_bucket(FaultLogKind kind) const;
+
+  /// Unicode-free ASCII sparkline of a series, resampled to `width` columns
+  /// and scaled to the series maximum ('.':' low' through '#': high).
+  [[nodiscard]] std::string sparkline(FaultLogKind kind,
+                                      std::size_t width = 80) const;
+
+ private:
+  static constexpr std::size_t kKinds = 3;
+  SimDuration bucket_;
+  std::vector<std::array<std::uint64_t, kKinds>> buckets_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,47 @@
+#include "gpu/access.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uvmsim {
+
+void AccessStream::add(std::span<const VirtPage> pages, bool write,
+                       std::uint32_t compute_ns) {
+  if (pages.empty()) throw std::invalid_argument("AccessStream: empty access");
+  AccessRecord rec;
+  rec.page_begin = static_cast<std::uint32_t>(pages_.size());
+  rec.write = write;
+  rec.compute_ns = compute_ns;
+
+  // A warp access is a set of distinct pages. Deduplicate but PRESERVE the
+  // caller's lane order: fault entries are raised in lane order on real
+  // hardware, and sorting here would bias the driver-observed fault order
+  // of scattered access patterns.
+  std::size_t start = pages_.size();
+  for (VirtPage p : pages) {
+    bool seen = false;
+    for (std::size_t i = start; i < pages_.size(); ++i) {
+      if (pages_[i] == p) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) pages_.push_back(p);
+  }
+  rec.page_count = static_cast<std::uint16_t>(pages_.size() - start);
+  records_.push_back(rec);
+}
+
+void AccessStream::add_run(VirtPage first, std::uint32_t count, bool write,
+                           std::uint32_t compute_ns) {
+  if (count == 0) throw std::invalid_argument("AccessStream: empty run");
+  AccessRecord rec;
+  rec.page_begin = static_cast<std::uint32_t>(pages_.size());
+  rec.page_count = static_cast<std::uint16_t>(count);
+  rec.write = write;
+  rec.compute_ns = compute_ns;
+  for (std::uint32_t i = 0; i < count; ++i) pages_.push_back(first + i);
+  records_.push_back(rec);
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,82 @@
+// Kernel and memory-access descriptions fed to the GPU model.
+//
+// Workloads compile into a KernelSpec: a grid of thread blocks, each holding
+// per-warp access streams. A stream is a sequence of records; each record is
+// the set of distinct 4 KB pages one warp-wide (coalesced) access touches
+// plus the compute time spent before the access. The GPU engine replays
+// these streams, faulting on non-resident pages.
+//
+// Storage is flattened (one page vector + index records per stream) so large
+// kernels stay cache- and allocation-friendly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mem/constants.h"
+#include "sim/time.h"
+
+namespace uvmsim {
+
+/// One warp-wide access: `page_count` pages starting at index `page_begin`
+/// into the owning stream's page vector.
+struct AccessRecord {
+  std::uint32_t page_begin = 0;
+  std::uint16_t page_count = 0;
+  bool write = false;
+  std::uint32_t compute_ns = 0;  ///< compute preceding this access
+};
+
+/// The ordered accesses of a single warp.
+class AccessStream {
+ public:
+  /// Appends a record touching `pages` (distinct pages of one coalesced
+  /// warp access).
+  void add(std::span<const VirtPage> pages, bool write,
+           std::uint32_t compute_ns);
+
+  /// Appends a record touching the contiguous pages [first, first+count).
+  void add_run(VirtPage first, std::uint32_t count, bool write,
+               std::uint32_t compute_ns);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] const AccessRecord& record(std::size_t i) const {
+    return records_[i];
+  }
+  /// Pages of record i.
+  [[nodiscard]] std::span<const VirtPage> pages(std::size_t i) const {
+    const AccessRecord& r = records_[i];
+    return {pages_.data() + r.page_begin, r.page_count};
+  }
+  /// Total page-touches across all records.
+  [[nodiscard]] std::size_t total_page_touches() const { return pages_.size(); }
+
+ private:
+  std::vector<VirtPage> pages_;
+  std::vector<AccessRecord> records_;
+};
+
+/// All warps of one thread block.
+struct ThreadBlockSpec {
+  std::vector<AccessStream> warps;
+};
+
+/// A full kernel launch.
+struct KernelSpec {
+  std::string name;
+  std::vector<ThreadBlockSpec> blocks;
+  /// Abstract useful-work units performed by the kernel (e.g. 2*n^3 for
+  /// sgemm); used for compute-rate metrics (Fig. 10).
+  double work_units = 0.0;
+
+  [[nodiscard]] std::size_t total_warps() const {
+    std::size_t n = 0;
+    for (const auto& b : blocks) n += b.warps.size();
+    return n;
+  }
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,37 @@
+// Replayable far-fault records (paper §III-A, Fig. 2).
+//
+// A GPU µTLB miss on a non-resident page parks the faulting access, writes a
+// fault entry into the GPU fault buffer, and pushes a pointer into a circular
+// queue the host driver reads. The entry carries the faulting address and
+// coarse origin information (GPC / µTLB id) — crucially *not* the SM, warp,
+// or thread (paper §IV-A: "the driver lacks sufficient information for
+// correlating faults with their generating GPU core/thread"). We keep the
+// originating warp in the record for *instrumentation only*; driver policy
+// code never reads it.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/constants.h"
+#include "sim/time.h"
+
+namespace uvmsim {
+
+enum class FaultAccessType : std::uint8_t { Read, Write };
+
+struct FaultEntry {
+  std::uint64_t fault_id = 0;   ///< global sequence number (instrumentation)
+  VirtPage page = 0;            ///< faulting 4 KB virtual page
+  VaBlockId block = 0;          ///< VABlock containing the page
+  RangeId range = kInvalidRange;
+  FaultAccessType access = FaultAccessType::Read;
+  SimTime raised_at = 0;        ///< when the µTLB raised the fault
+  SimTime ready_at = 0;         ///< when the entry's "ready" flag is visible
+  std::uint32_t gpc_id = 0;     ///< origin info the real HW exposes
+
+  // --- instrumentation-only fields (invisible to driver policies) ---
+  std::uint32_t origin_sm = 0;
+  std::uint32_t origin_warp = 0;
+};
+
+}  // namespace uvmsim

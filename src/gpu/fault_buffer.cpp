@@ -1,0 +1,34 @@
+#include "gpu/fault_buffer.h"
+
+#include <algorithm>
+
+namespace uvmsim {
+
+bool FaultBuffer::push(FaultEntry e, SimTime now) {
+  if (full()) {
+    ++dropped_;
+    return false;
+  }
+  e.raised_at = now;
+  e.ready_at = now + cfg_.ready_lag;
+  q_.push_back(e);
+  ++pushed_;
+  max_occupancy_ = std::max(max_occupancy_, q_.size());
+  return true;
+}
+
+std::optional<FaultEntry> FaultBuffer::pop() {
+  if (q_.empty()) return std::nullopt;
+  FaultEntry e = q_.front();
+  q_.pop_front();
+  return e;
+}
+
+std::uint64_t FaultBuffer::flush() {
+  std::uint64_t n = q_.size();
+  flushed_ += n;
+  q_.clear();
+  return n;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,67 @@
+// GPU fault buffer: fixed-capacity circular queue of fault entries.
+//
+// Models the hardware structure from paper §III-C: a circular device-side
+// pointer queue whose entries become "ready" slightly after the pointer is
+// visible (PCIe write asynchronicity), forcing the driver to poll laggards.
+// When the buffer is full new faults are dropped — the faulting warp stays
+// parked and will re-fault after the next replay, one of the sources of
+// multiple replays per fault (§III-E).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "gpu/fault.h"
+
+namespace uvmsim {
+
+class FaultBuffer {
+ public:
+  struct Config {
+    std::uint32_t capacity = 4096;  ///< hardware entry count
+    /// Delay between pointer visibility and entry readiness.
+    SimDuration ready_lag = 300;  // ns
+  };
+
+  explicit FaultBuffer(const Config& cfg) : cfg_(cfg) {}
+
+  /// Attempts to append a fault at time `now`. Returns false (and counts a
+  /// drop) if the buffer is full.
+  bool push(FaultEntry e, SimTime now);
+
+  /// Pops the oldest entry, if any. The driver pays a poll penalty when
+  /// now < entry.ready_at; that cost lives in the driver's cost model — this
+  /// just hands out the entry.
+  std::optional<FaultEntry> pop();
+
+  /// Oldest entry without removing it.
+  [[nodiscard]] const FaultEntry* peek() const {
+    return q_.empty() ? nullptr : &q_.front();
+  }
+
+  /// Discards all entries (batch-flush policy). Returns how many were
+  /// discarded.
+  std::uint64_t flush();
+
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] bool full() const { return q_.size() >= cfg_.capacity; }
+
+  // --- statistics ---
+  [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
+  [[nodiscard]] std::uint64_t total_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t total_flushed() const { return flushed_; }
+  [[nodiscard]] std::size_t max_occupancy() const { return max_occupancy_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::deque<FaultEntry> q_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t flushed_ = 0;
+  std::size_t max_occupancy_ = 0;
+};
+
+}  // namespace uvmsim

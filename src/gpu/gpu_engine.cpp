@@ -1,0 +1,294 @@
+#include "gpu/gpu_engine.h"
+
+#include <stdexcept>
+
+namespace uvmsim {
+
+GpuEngine::GpuEngine(const Config& cfg, EventQueue& eq, AddressSpace& as,
+                     PageTable& pt, FaultBuffer& fb, AccessCounters& ac,
+                     Interconnect* link)
+    : cfg_(cfg),
+      eq_(&eq),
+      as_(&as),
+      pt_(&pt),
+      fb_(&fb),
+      ac_(&ac),
+      link_(link),
+      rng_(cfg.seed),
+      scheduler_(cfg.num_sms, cfg.max_blocks_per_sm),
+      sm_outstanding_faults_(cfg.num_sms, 0) {
+  if (cfg_.fault_granularity_pages == 0 ||
+      kPagesPerBlock % cfg_.fault_granularity_pages != 0) {
+    throw std::invalid_argument(
+        "GpuEngine: fault_granularity must divide the 512-page VABlock");
+  }
+  sms_.reserve(cfg_.num_sms);
+  for (std::uint32_t s = 0; s < cfg_.num_sms; ++s) {
+    sms_.emplace_back(s, cfg_.utlb_entries);
+  }
+}
+
+bool GpuEngine::busy() const {
+  if (!active_.empty()) return true;
+  for (const auto& [stream, q] : stream_queues_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+void GpuEngine::launch(const KernelSpec* spec,
+                       std::function<void()> on_complete,
+                       std::uint32_t stream) {
+  if (spec == nullptr || spec->blocks.empty()) {
+    throw std::invalid_argument("GpuEngine::launch: empty kernel");
+  }
+  stream_queues_[stream].push_back(
+      PendingKernel{spec, std::move(on_complete), stream});
+  try_activate_stream(stream);
+}
+
+void GpuEngine::try_activate_stream(std::uint32_t stream) {
+  if (stream_busy_.contains(stream)) return;  // serialized within a stream
+  auto& q = stream_queues_[stream];
+  if (q.empty()) return;
+  PendingKernel pk = std::move(q.front());
+  q.pop_front();
+  stream_busy_.insert(stream);
+  activate(std::move(pk));
+}
+
+void GpuEngine::activate(PendingKernel pk) {
+  std::uint64_t id = next_kernel_id_++;
+  ActiveKernel& k = active_[id];
+  k.id = id;
+  k.spec = pk.spec;
+  k.on_complete = std::move(pk.on_complete);
+  k.stream = pk.stream;
+  k.stats_index = stats_.size();
+
+  KernelStats ks;
+  ks.name = k.spec->name;
+  ks.stream = k.stream;
+  ks.launched_at = eq_->now();
+  ks.work_units = k.spec->work_units;
+  stats_.push_back(ks);
+
+  // Materialize warps.
+  k.block_first_warp.assign(k.spec->blocks.size(), 0);
+  k.block_live_warps.assign(k.spec->blocks.size(), 0);
+  std::uint32_t wid = 0;
+  for (std::uint32_t b = 0; b < k.spec->blocks.size(); ++b) {
+    k.block_first_warp[b] = wid;
+    const auto& blk = k.spec->blocks[b];
+    k.block_live_warps[b] = static_cast<std::uint32_t>(blk.warps.size());
+    for (const auto& stream : blk.warps) {
+      Warp w;
+      w.id = wid++;
+      w.block_index = b;
+      w.stream = &stream;
+      k.warps.push_back(w);
+    }
+  }
+
+  scheduler_.begin_grid(id, static_cast<std::uint32_t>(k.spec->blocks.size()));
+  eq_->schedule_in(cfg_.kernel_launch_overhead, [this] { dispatch_blocks(); });
+}
+
+void GpuEngine::dispatch_blocks() {
+  for (const auto& d : scheduler_.dispatch_available()) {
+    auto it = active_.find(d.grid);
+    if (it == active_.end()) {
+      throw std::logic_error("GpuEngine: dispatch for unknown kernel");
+    }
+    ActiveKernel& k = it->second;
+    std::uint32_t first = k.block_first_warp[d.block_index];
+    std::uint32_t count = k.block_live_warps[d.block_index];
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Warp& w = k.warps[first + i];
+      w.sm = d.sm;
+      w.state = WarpState::Runnable;
+      schedule_step(WarpRef{k.id, w.id},
+                    cfg_.dispatch_latency + rng_.next_below(cfg_.jitter_ns + 1));
+    }
+    // A block with zero warps retires immediately.
+    if (count == 0) scheduler_.on_block_complete(d.sm);
+  }
+}
+
+void GpuEngine::schedule_step(WarpRef ref, SimDuration delay) {
+  eq_->schedule_in(delay, [this, ref] { step_warp(ref); });
+}
+
+void GpuEngine::step_warp(WarpRef ref) {
+  auto it = active_.find(ref.kernel);
+  if (it == active_.end()) return;  // stale event for a finished kernel
+  ActiveKernel& k = it->second;
+  Warp& w = k.warps[ref.warp];
+  if (w.state != WarpState::Runnable) return;  // stale event
+
+  const AccessStream& s = *w.stream;
+  if (w.pos >= s.size()) {
+    complete_warp(k, w);  // may invalidate k
+    return;
+  }
+
+  const AccessRecord& rec = s.record(w.pos);
+  Sm& sm = sms_[w.sm];
+  KernelStats& ks = stats_[k.stats_index];
+
+  // First attempt at this record: all lanes pending. On replayed retries
+  // only the previously-missing lanes re-access (per-lane park semantics).
+  if (!w.record_in_flight) {
+    auto pages = s.pages(w.pos);
+    w.pending_pages.assign(pages.begin(), pages.end());
+    w.record_in_flight = true;
+  }
+
+  SimDuration walk_penalty = 0;
+  bool pushed_any = false;
+  std::vector<VirtPage> still_missing;
+  for (VirtPage p : w.pending_pages) {
+    bool tlb_hit = sm.utlb.lookup(p);
+    if (tlb_hit) {
+      ++utlb_hits_;
+    } else {
+      ++utlb_misses_;
+      walk_penalty += cfg_.page_walk_latency;
+    }
+    if (pt_->translate(p)) {
+      if (!tlb_hit) sm.utlb.insert(p);
+      VaBlock& blk = as_->block_of(p);
+      std::uint32_t pi = page_in_block(p);
+      if (pt_->is_remote(p)) {
+        // Zero-copy access over the interconnect: a fixed round-trip
+        // latency plus the cache line's share of the wire, queued behind
+        // other link traffic (bulk migrations and other zero-copy
+        // accesses).
+        walk_penalty += cfg_.remote_access_latency;
+        if (link_ != nullptr) {
+          SimTime done = link_->reserve_pipelined(
+              Direction::HostToDevice, eq_->now(), cfg_.remote_access_bytes,
+              cfg_.remote_link_overhead);
+          walk_penalty += done - eq_->now();
+        }
+        ++remote_accesses_;
+      }
+      // A touched page is no longer "wasted" prefetch (§V-A2 accounting).
+      blk.prefetched_unused.reset(pi);
+      if (rec.write) {
+        blk.dirty.set(pi);
+        blk.ever_populated.set(pi);
+        // A write to a read-duplicated page collapses the duplication:
+        // the host copy is stale from this instant.
+        if (blk.read_duplicated.test(pi)) {
+          blk.read_duplicated.reset(pi);
+          blk.cpu_resident.reset(pi);
+        }
+      }
+      ++ks.page_touches;
+      ac_->on_resident_access(p, eq_->now());
+      continue;
+    }
+    still_missing.push_back(p);
+    // Far-fault: park the lane. A new buffer entry is emitted only if no
+    // fault for this base page is already pending (µTLB coalescing at the
+    // host page granularity) and the SM still has a free fault slot
+    // (hardware throttling).
+    VirtPage pending_key = p - (p % cfg_.fault_granularity_pages);
+    if (pending_faults_.contains(pending_key)) {
+      ++faults_coalesced_;
+      continue;
+    }
+    if (sm_outstanding_faults_[w.sm] >= cfg_.utlb_fault_slots) {
+      ++faults_throttled_;
+      continue;
+    }
+    FaultEntry e;
+    e.fault_id = next_fault_id_++;
+    e.page = p;
+    e.block = block_of_page(p);
+    e.range = as_->range_of(p);
+    e.access = rec.write ? FaultAccessType::Write : FaultAccessType::Read;
+    e.gpc_id = w.sm / cfg_.sms_per_gpc;
+    e.origin_sm = w.sm;
+    e.origin_warp = w.id;
+    if (fb_->push(e, eq_->now())) {
+      pushed_any = true;
+      ++w.faults_raised;
+      ++ks.faults_raised;
+      pending_faults_.insert(pending_key);
+      ++sm_outstanding_faults_[w.sm];
+    }
+  }
+
+  if (!still_missing.empty()) {
+    w.pending_pages = std::move(still_missing);
+    w.state = WarpState::Stalled;
+    w.stall_start = eq_->now();
+    stalled_.push_back(ref);
+    if (pushed_any && interrupt_) interrupt_();
+    return;
+  }
+
+  // All lanes satisfied: the record retires.
+  w.pending_pages.clear();
+  w.record_in_flight = false;
+  ++w.pos;
+  schedule_step(ref, rec.compute_ns + cfg_.access_latency + walk_penalty +
+                         rng_.next_below(cfg_.jitter_ns + 1));
+}
+
+void GpuEngine::complete_warp(ActiveKernel& k, Warp& w) {
+  w.state = WarpState::Done;
+  ++k.warps_done;
+  if (--k.block_live_warps[w.block_index] == 0) {
+    scheduler_.on_block_complete(w.sm);
+    dispatch_blocks();
+  }
+  if (k.warps_done != k.warps.size()) return;
+
+  // Kernel complete.
+  stats_[k.stats_index].completed_at = eq_->now();
+  scheduler_.end_grid(k.id);
+  std::uint32_t stream = k.stream;
+  auto cb = std::move(k.on_complete);
+  active_.erase(k.id);  // k and w are dangling from here on
+  if (cb) cb();
+  stream_busy_.erase(stream);
+  try_activate_stream(stream);
+}
+
+void GpuEngine::replay() {
+  // The replay retries every parked access; pending-fault markers and SM
+  // fault slots reset (unsatisfied accesses will raise fresh entries).
+  pending_faults_.clear();
+  sm_outstanding_faults_.assign(sm_outstanding_faults_.size(), 0);
+  if (stalled_.empty()) return;
+
+  std::vector<WarpRef> to_resume;
+  to_resume.swap(stalled_);
+  // One replay notification per kernel that had parked warps.
+  std::unordered_set<std::uint64_t> kernels_seen;
+  for (WarpRef ref : to_resume) {
+    auto it = active_.find(ref.kernel);
+    if (it == active_.end()) continue;
+    ActiveKernel& k = it->second;
+    Warp& w = k.warps[ref.warp];
+    if (w.state != WarpState::Stalled) continue;
+    w.state = WarpState::Runnable;
+    ++w.replays_survived;
+    KernelStats& ks = stats_[k.stats_index];
+    SimDuration stalled_for = eq_->now() - w.stall_start;
+    ks.stall_ns += stalled_for;
+    ++ks.stall_episodes;
+    stall_latency_.add(stalled_for);
+    if (kernels_seen.insert(ref.kernel).second) ++ks.replays_seen;
+    schedule_step(ref, cfg_.replay_latency + rng_.next_below(cfg_.jitter_ns + 1));
+  }
+}
+
+void GpuEngine::invalidate_tlbs() {
+  for (auto& sm : sms_) sm.utlb.invalidate_all();
+}
+
+}  // namespace uvmsim

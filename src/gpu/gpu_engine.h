@@ -1,0 +1,228 @@
+// The GPU execution model.
+//
+// Replays workload access streams on a grid of SMs, generating replayable
+// far-faults against the fault buffer exactly as the paper's Fig. 2
+// describes: a warp whose access misses in the GPU page table parks, its
+// fault entry lands in the circular buffer, the driver is interrupted, and
+// the warp retries only when the driver issues a replay. Non-faulting warps
+// keep running (latency hiding), so faults arrive in the parallel,
+// nondeterministically interleaved order that makes the driver's workload
+// hard (paper §IV-B).
+//
+// Kernels launch into *streams* (CUDA semantics): kernels in one stream
+// serialize; kernels in different streams run concurrently, their blocks
+// co-scheduled round-robin onto the shared SM array.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "gpu/access.h"
+#include "gpu/access_counters.h"
+#include "gpu/block_scheduler.h"
+#include "gpu/fault_buffer.h"
+#include "gpu/sm.h"
+#include "gpu/warp.h"
+#include "mem/address_space.h"
+#include "mem/interconnect.h"
+#include "mem/page_table.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace uvmsim {
+
+/// Per-kernel execution statistics.
+struct KernelStats {
+  std::string name;
+  std::uint32_t stream = 0;
+  SimTime launched_at = 0;
+  SimTime completed_at = 0;
+  std::uint64_t faults_raised = 0;
+  std::uint64_t page_touches = 0;
+  std::uint64_t stall_ns = 0;        ///< summed per-warp stall time
+  std::uint64_t stall_episodes = 0;  ///< park/resume cycles across warps
+  std::uint64_t replays_seen = 0;    ///< replay notifications received
+  double work_units = 0.0;
+
+  [[nodiscard]] SimDuration duration() const { return completed_at - launched_at; }
+
+  /// Mean time a warp spent parked per fault-stall episode — the
+  /// fault-resolution latency a replay policy trades against its overhead.
+  [[nodiscard]] double mean_stall_ns() const {
+    return stall_episodes ? static_cast<double>(stall_ns) /
+                                static_cast<double>(stall_episodes)
+                          : 0.0;
+  }
+};
+
+class GpuEngine {
+ public:
+  struct Config {
+    /// SM array scaled with the default 128 MiB memory (a Titan V pairs
+    /// 80 SMs with 12 GB): keeping the ratio preserves the paper's key
+    /// dynamic that resident blocks demand only a small fraction of the
+    /// dataset at any instant — the temporal spread behind prefetch waste
+    /// and evict-before-use (§V-A2).
+    std::uint32_t num_sms = 8;
+    std::uint32_t max_blocks_per_sm = 2;
+    std::uint32_t sms_per_gpc = 4;
+    std::uint32_t utlb_entries = 64;
+    /// Outstanding-fault slots per SM µTLB. Parked accesses beyond this
+    /// limit wait without emitting fault entries (hardware throttling that
+    /// keeps the fault buffer from being swamped by every resident warp).
+    /// The small slot count is what makes faults SPARSE within big pages —
+    /// the precondition for the 64 KB upgrade to eliminate faults. 8 slots
+    /// calibrates regular page-touch fault coverage to the paper's Table I
+    /// (~82 %).
+    std::uint32_t utlb_fault_slots = 8;
+    /// Host base-page granularity of fault generation, in 4 KB pages:
+    /// 1 = x86 (4 KB pages); 16 = Power9 (64 KB pages), where one fault
+    /// covers the whole 64 KB region so further misses in it coalesce
+    /// (paper §IV-A / [14]). Must divide 512 and pair with
+    /// DriverConfig::base_page_pages.
+    std::uint32_t fault_granularity_pages = 1;
+    SimDuration access_latency = 400;    ///< ns, resident coalesced access
+    SimDuration page_walk_latency = 600; ///< ns, µTLB miss walk
+    /// Extra latency per access to a remote-mapped (zero-copy host) page:
+    /// one interconnect round trip instead of an HBM access.
+    SimDuration remote_access_latency = 1200;
+    /// Bytes one zero-copy access moves over the link (a cache line).
+    std::uint32_t remote_access_bytes = 128;
+    /// Per-transaction link occupancy overhead (TLP framing) of a
+    /// zero-copy access; together with remote_access_bytes this makes heavy
+    /// zero-copy traffic bandwidth-bound on the interconnect.
+    SimDuration remote_link_overhead = 100;
+    SimDuration replay_latency = 2 * kMicrosecond;  ///< replay to SM resume
+    SimDuration dispatch_latency = 1 * kMicrosecond;
+    SimDuration kernel_launch_overhead = 8 * kMicrosecond;
+    std::uint32_t jitter_ns = 200;       ///< per-access scheduling jitter
+    std::uint64_t seed = 0x5EED;
+  };
+
+  /// `link` (optional) is the host-device interconnect zero-copy accesses
+  /// travel over; when null, remote accesses pay only the fixed latency.
+  GpuEngine(const Config& cfg, EventQueue& eq, AddressSpace& as,
+            PageTable& pt, FaultBuffer& fb, AccessCounters& ac,
+            Interconnect* link = nullptr);
+
+  /// Enqueues a kernel on `stream`. Kernels in the same stream execute in
+  /// launch order; different streams run concurrently. `on_complete` fires
+  /// (if set) when the kernel's last warp retires.
+  void launch(const KernelSpec* spec, std::function<void()> on_complete = {},
+              std::uint32_t stream = 0);
+
+  /// Driver-issued replay notification: every stalled warp resumes after
+  /// replay_latency and retries its faulted access.
+  void replay();
+
+  /// Driver-issued TLB shootdown (on unmap/evict).
+  void invalidate_tlbs();
+
+  /// Installs the handler invoked whenever a fault entry is pushed (the
+  /// driver's interrupt line).
+  void set_interrupt_handler(std::function<void()> h) {
+    interrupt_ = std::move(h);
+  }
+
+  /// True while any kernel is active or queued.
+  [[nodiscard]] bool busy() const;
+  /// True if any warp of any running kernel is parked on a fault.
+  [[nodiscard]] bool has_stalled_warps() const { return !stalled_.empty(); }
+  [[nodiscard]] const std::vector<KernelStats>& kernel_stats() const {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t utlb_hits() const { return utlb_hits_; }
+  [[nodiscard]] std::uint64_t utlb_misses() const { return utlb_misses_; }
+  /// Faults coalesced with an already-pending entry for the same page
+  /// (parked without a new buffer entry).
+  [[nodiscard]] std::uint64_t faults_coalesced() const {
+    return faults_coalesced_;
+  }
+  /// Faults suppressed because the SM's µTLB fault slots were exhausted.
+  [[nodiscard]] std::uint64_t faults_throttled() const {
+    return faults_throttled_;
+  }
+  /// Accesses served over the interconnect from remote-mapped pages.
+  [[nodiscard]] std::uint64_t remote_accesses() const {
+    return remote_accesses_;
+  }
+  /// Kernels currently executing (not merely queued).
+  [[nodiscard]] std::size_t active_kernels() const { return active_.size(); }
+  /// Distribution of warp stall-episode durations (ns): the
+  /// fault-resolution latency warps actually experienced.
+  [[nodiscard]] const LogHistogram& stall_latency() const {
+    return stall_latency_;
+  }
+
+ private:
+  struct PendingKernel {
+    const KernelSpec* spec;
+    std::function<void()> on_complete;
+    std::uint32_t stream;
+  };
+  struct ActiveKernel {
+    std::uint64_t id = 0;
+    const KernelSpec* spec = nullptr;
+    std::function<void()> on_complete;
+    std::uint32_t stream = 0;
+    std::size_t stats_index = 0;
+    std::vector<Warp> warps;
+    std::vector<std::uint32_t> block_first_warp;
+    std::vector<std::uint32_t> block_live_warps;
+    std::size_t warps_done = 0;
+  };
+  /// Handle identifying one warp of one active kernel.
+  struct WarpRef {
+    std::uint64_t kernel;
+    std::uint32_t warp;
+  };
+
+  void try_activate_stream(std::uint32_t stream);
+  void activate(PendingKernel pk);
+  void dispatch_blocks();
+  void schedule_step(WarpRef ref, SimDuration delay);
+  void step_warp(WarpRef ref);
+  /// Retires warp `w`; may complete its kernel (invalidating `k`).
+  void complete_warp(ActiveKernel& k, Warp& w);
+
+  Config cfg_;
+  EventQueue* eq_;
+  AddressSpace* as_;
+  PageTable* pt_;
+  FaultBuffer* fb_;
+  AccessCounters* ac_;
+  Interconnect* link_;
+  Rng rng_;
+
+  std::map<std::uint32_t, std::deque<PendingKernel>> stream_queues_;
+  std::unordered_set<std::uint32_t> stream_busy_;
+  std::map<std::uint64_t, ActiveKernel> active_;
+  std::uint64_t next_kernel_id_ = 0;
+
+  std::vector<Sm> sms_;
+  BlockScheduler scheduler_;
+  std::vector<WarpRef> stalled_;
+
+  std::function<void()> interrupt_;
+  std::vector<KernelStats> stats_;
+  std::uint64_t next_fault_id_ = 0;
+  std::uint64_t utlb_hits_ = 0;
+  std::uint64_t utlb_misses_ = 0;
+  std::uint64_t faults_coalesced_ = 0;
+  std::uint64_t faults_throttled_ = 0;
+  std::uint64_t remote_accesses_ = 0;
+  LogHistogram stall_latency_;
+
+  /// Pages with an in-flight fault entry since the last replay: further
+  /// faults on them coalesce (no new entry). Cleared on replay.
+  std::unordered_set<VirtPage> pending_faults_;
+  /// Outstanding fault entries per SM since the last replay.
+  std::vector<std::uint32_t> sm_outstanding_faults_;
+};
+
+}  // namespace uvmsim

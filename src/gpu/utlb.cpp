@@ -1,0 +1,3 @@
+#include "gpu/utlb.h"
+
+// Header-only; TU anchors the header in the build.

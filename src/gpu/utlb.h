@@ -1,0 +1,53 @@
+// Per-SM micro-TLB model.
+//
+// Caches positive translations at big-page (64 KB) granularity. A hit skips
+// the page-table walk; a miss pays the walk latency and, if the page is
+// non-resident, raises a far-fault. Unmaps (eviction) invalidate all µTLBs —
+// the membar/invalidate cost is charged by the driver's mapping cost model;
+// this class only models the hit/miss behaviour on the GPU side.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/constants.h"
+
+namespace uvmsim {
+
+class Utlb {
+ public:
+  explicit Utlb(std::uint32_t entries = 64) : slots_(entries, kEmpty) {}
+
+  /// True if the big page containing `p` has a cached translation.
+  [[nodiscard]] bool lookup(VirtPage p) const {
+    std::uint64_t tag = tag_of(p);
+    for (std::uint64_t s : slots_) {
+      if (s == tag) return true;
+    }
+    return false;
+  }
+
+  /// Installs a translation (round-robin replacement).
+  void insert(VirtPage p) {
+    slots_[next_] = tag_of(p);
+    next_ = (next_ + 1) % slots_.size();
+  }
+
+  /// Drops every entry (driver-issued TLB invalidate).
+  void invalidate_all() {
+    for (auto& s : slots_) s = kEmpty;
+    ++invalidations_;
+  }
+
+  [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+  static std::uint64_t tag_of(VirtPage p) { return p / kPagesPerBigPage; }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t next_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace uvmsim

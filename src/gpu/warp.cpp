@@ -1,0 +1,3 @@
+#include "gpu/warp.h"
+
+// Plain state struct; TU anchors the header in the build.

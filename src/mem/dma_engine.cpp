@@ -1,0 +1,27 @@
+#include "mem/dma_engine.h"
+
+#include <cmath>
+
+namespace uvmsim {
+
+SimTime DmaEngine::copy_runs(Direction dir, SimTime earliest,
+                             std::span<const std::uint64_t> run_bytes) {
+  SimTime t = earliest;
+  for (std::uint64_t bytes : run_bytes) {
+    if (bytes == 0) continue;
+    t += cfg_.staging_per_run + cfg_.op_setup;
+    t = link_->reserve(dir, t, bytes);
+    ++copy_ops_;
+  }
+  return t;
+}
+
+SimTime DmaEngine::zero_fill(SimTime earliest, std::uint64_t bytes) {
+  if (bytes == 0) return earliest;
+  double ns = static_cast<double>(bytes) / cfg_.zero_bandwidth_Bps * 1e9;
+  zero_bytes_ += bytes;
+  return earliest + cfg_.op_setup +
+         static_cast<SimDuration>(std::llround(ns));
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,37 @@
+#include "mem/interconnect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uvmsim {
+
+SimDuration Interconnect::transfer_time(std::uint64_t bytes) const {
+  double wire_ns = static_cast<double>(bytes) / cfg_.bandwidth_Bps * 1e9;
+  return cfg_.latency + static_cast<SimDuration>(std::llround(wire_ns));
+}
+
+SimTime Interconnect::reserve(Direction dir, SimTime earliest,
+                              std::uint64_t bytes) {
+  int i = idx(dir);
+  SimTime start = std::max(earliest, busy_until_[i]);
+  SimTime done = start + transfer_time(bytes);
+  busy_until_[i] = done;
+  bytes_[i] += bytes;
+  ++transfers_[i];
+  return done;
+}
+
+SimTime Interconnect::reserve_pipelined(Direction dir, SimTime earliest,
+                                        std::uint64_t bytes,
+                                        SimDuration overhead) {
+  int i = idx(dir);
+  SimTime start = std::max(earliest, busy_until_[i]);
+  double wire_ns = static_cast<double>(bytes) / cfg_.bandwidth_Bps * 1e9;
+  SimTime done =
+      start + overhead + static_cast<SimDuration>(std::llround(wire_ns));
+  busy_until_[i] = done;
+  zc_bytes_[i] += bytes;
+  return done;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,79 @@
+// Host–device interconnect model (PCIe-class link).
+//
+// A full-duplex link with per-direction bandwidth and a fixed per-transfer
+// latency. Transfers in the same direction serialize (channel busy-until
+// tracking); opposite directions proceed independently. This is the level of
+// fidelity the paper's analysis needs: transfer cost = latency + size/BW,
+// and coalescing fewer/larger transfers wins.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace uvmsim {
+
+enum class Direction { HostToDevice, DeviceToHost };
+
+class Interconnect {
+ public:
+  struct Config {
+    /// Effective per-direction bandwidth, bytes/second. Default ~12 GB/s,
+    /// PCIe 3.0 x16 achievable rate (paper's Titan V testbed).
+    double bandwidth_Bps = 12.0e9;
+    /// Fixed per-transfer latency (setup + propagation).
+    SimDuration latency = 5 * kMicrosecond;
+  };
+
+  explicit Interconnect(const Config& cfg) : cfg_(cfg) {}
+
+  /// Pure transfer duration for `bytes` (latency + bytes/BW), ignoring
+  /// queueing.
+  [[nodiscard]] SimDuration transfer_time(std::uint64_t bytes) const;
+
+  /// Reserves the channel for a transfer that is ready to start at
+  /// `earliest`: the transfer begins when the channel frees up, and this
+  /// returns its completion time. Also accounts moved bytes.
+  SimTime reserve(Direction dir, SimTime earliest, std::uint64_t bytes);
+
+  /// Reserves link time for one small pipelined transaction (a zero-copy
+  /// read/write of `bytes` plus `overhead` of TLP/protocol time). Unlike
+  /// reserve(), no fixed latency is charged — fine-grained accesses overlap
+  /// the link's propagation delay — but each transaction occupies the wire,
+  /// so heavy zero-copy traffic queues behind itself and behind bulk
+  /// migrations. Returns the completion time.
+  SimTime reserve_pipelined(Direction dir, SimTime earliest,
+                            std::uint64_t bytes, SimDuration overhead);
+
+  /// Cumulative bulk-transfer bytes per direction (reserve()).
+  [[nodiscard]] std::uint64_t bytes_moved(Direction dir) const {
+    return bytes_[idx(dir)];
+  }
+  /// Cumulative zero-copy bytes per direction (reserve_pipelined()).
+  [[nodiscard]] std::uint64_t zero_copy_bytes(Direction dir) const {
+    return zc_bytes_[idx(dir)];
+  }
+  /// Cumulative transfers per direction.
+  [[nodiscard]] std::uint64_t transfers(Direction dir) const {
+    return transfers_[idx(dir)];
+  }
+  /// Time the channel becomes free.
+  [[nodiscard]] SimTime busy_until(Direction dir) const {
+    return busy_until_[idx(dir)];
+  }
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  static constexpr int idx(Direction d) {
+    return d == Direction::HostToDevice ? 0 : 1;
+  }
+
+  Config cfg_;
+  SimTime busy_until_[2] = {0, 0};
+  std::uint64_t bytes_[2] = {0, 0};
+  std::uint64_t zc_bytes_[2] = {0, 0};
+  std::uint64_t transfers_[2] = {0, 0};
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,39 @@
+#include "mem/page_mask.h"
+
+namespace uvmsim {
+
+std::uint32_t PageMask::count_range(std::uint32_t lo, std::uint32_t hi) const {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = lo; i < hi; ++i) n += bits_.test(i) ? 1u : 0u;
+  return n;
+}
+
+void PageMask::set_range(std::uint32_t lo, std::uint32_t hi) {
+  for (std::uint32_t i = lo; i < hi; ++i) bits_.set(i);
+}
+
+std::vector<PageMask::Run> PageMask::runs() const {
+  std::vector<Run> out;
+  std::uint32_t i = 0;
+  while (i < kPagesPerBlock) {
+    if (!bits_.test(i)) {
+      ++i;
+      continue;
+    }
+    std::uint32_t start = i;
+    while (i < kPagesPerBlock && bits_.test(i)) ++i;
+    out.push_back(Run{start, i - start});
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> PageMask::set_indices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(bits_.count());
+  for (std::uint32_t i = 0; i < kPagesPerBlock; ++i) {
+    if (bits_.test(i)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,79 @@
+// A 512-bit page mask over one VABlock, with the run/count helpers the
+// service path and prefetcher need. Thin wrapper over std::bitset<512>.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "mem/constants.h"
+
+namespace uvmsim {
+
+/// One bit per 4 KB page of a VABlock.
+class PageMask {
+ public:
+  using Bits = std::bitset<kPagesPerBlock>;
+
+  PageMask() = default;
+  explicit PageMask(const Bits& b) : bits_(b) {}
+
+  [[nodiscard]] bool test(std::uint32_t i) const { return bits_.test(i); }
+  void set(std::uint32_t i) { bits_.set(i); }
+  void reset(std::uint32_t i) { bits_.reset(i); }
+  void set_all() { bits_.set(); }
+  void clear() { bits_.reset(); }
+
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(bits_.count());
+  }
+  [[nodiscard]] bool any() const { return bits_.any(); }
+  [[nodiscard]] bool none() const { return bits_.none(); }
+
+  /// Number of set bits within [lo, hi).
+  [[nodiscard]] std::uint32_t count_range(std::uint32_t lo, std::uint32_t hi) const;
+
+  /// Sets all bits in [lo, hi).
+  void set_range(std::uint32_t lo, std::uint32_t hi);
+
+  PageMask& operator|=(const PageMask& o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  PageMask& operator&=(const PageMask& o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+  [[nodiscard]] PageMask operator|(const PageMask& o) const {
+    return PageMask{bits_ | o.bits_};
+  }
+  [[nodiscard]] PageMask operator&(const PageMask& o) const {
+    return PageMask{bits_ & o.bits_};
+  }
+  [[nodiscard]] PageMask operator~() const { return PageMask{~bits_}; }
+  [[nodiscard]] PageMask and_not(const PageMask& o) const {
+    return PageMask{bits_ & ~o.bits_};
+  }
+  bool operator==(const PageMask& o) const { return bits_ == o.bits_; }
+
+  /// A contiguous run of set pages: [first, first+count).
+  struct Run {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    bool operator==(const Run&) const = default;
+  };
+
+  /// Decomposes the mask into maximal contiguous runs of set bits, in
+  /// ascending order. The service path coalesces each run into one DMA op.
+  [[nodiscard]] std::vector<Run> runs() const;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> set_indices() const;
+
+  [[nodiscard]] const Bits& bits() const { return bits_; }
+
+ private:
+  Bits bits_;
+};
+
+}  // namespace uvmsim

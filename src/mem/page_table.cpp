@@ -1,0 +1,4 @@
+#include "mem/page_table.h"
+
+// Header-only today; this TU anchors the header in the build so include
+// errors surface immediately and future out-of-line growth has a home.

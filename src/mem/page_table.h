@@ -1,0 +1,72 @@
+// GPU page-table view over the address space.
+//
+// The real driver maintains Linux-style page tables on both sides; in the
+// simulator residency masks in VaBlock are the ground truth and this class is
+// the GPU MMU's read path: translate a virtual page, reporting hit (resident)
+// or miss (far-fault). It also tracks page-table update statistics that the
+// mapping cost model consumes.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/address_space.h"
+#include "mem/constants.h"
+
+namespace uvmsim {
+
+class PageTable {
+ public:
+  explicit PageTable(AddressSpace& as) : as_(&as) {}
+
+  /// GPU page-walk: true if `p` is mapped — either locally resident or
+  /// remote-mapped to host memory (zero-copy).
+  [[nodiscard]] bool translate(VirtPage p) const {
+    const VaBlock& b = as_->block_of(p);
+    std::uint32_t i = page_in_block(p);
+    return b.gpu_resident.test(i) || b.remote_mapped.test(i);
+  }
+
+  /// True if `p` maps to host memory over the interconnect (every access
+  /// pays the remote-access latency instead of faulting).
+  [[nodiscard]] bool is_remote(VirtPage p) const {
+    return as_->block_of(p).remote_mapped.test(page_in_block(p));
+  }
+
+  /// Maps `mask` pages of block `b` into the GPU page table (residency set by
+  /// the caller on the block; this records PTE-write counts for costing).
+  void map_pages(VaBlock& b, const PageMask& mask) {
+    b.gpu_resident |= mask;
+    pte_writes_ += mask.count();
+    ++map_ops_;
+  }
+
+  /// Maps `mask` pages of block `b` as remote (host-pinned, zero-copy).
+  void map_remote(VaBlock& b, const PageMask& mask) {
+    b.remote_mapped |= mask;
+    pte_writes_ += mask.count();
+    ++map_ops_;
+  }
+
+  /// Unmaps `mask` pages (eviction / migration away).
+  void unmap_pages(VaBlock& b, const PageMask& mask) {
+    b.gpu_resident &= ~mask;
+    pte_writes_ += mask.count();
+    ++unmap_ops_;
+    ++tlb_invalidates_;
+  }
+
+  /// Statistics used by the cost model and tests.
+  [[nodiscard]] std::uint64_t pte_writes() const { return pte_writes_; }
+  [[nodiscard]] std::uint64_t map_ops() const { return map_ops_; }
+  [[nodiscard]] std::uint64_t unmap_ops() const { return unmap_ops_; }
+  [[nodiscard]] std::uint64_t tlb_invalidates() const { return tlb_invalidates_; }
+
+ private:
+  AddressSpace* as_;
+  std::uint64_t pte_writes_ = 0;
+  std::uint64_t map_ops_ = 0;
+  std::uint64_t unmap_ops_ = 0;
+  std::uint64_t tlb_invalidates_ = 0;
+};
+
+}  // namespace uvmsim

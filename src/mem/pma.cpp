@@ -1,0 +1,41 @@
+#include "mem/pma.h"
+
+#include <algorithm>
+
+namespace uvmsim {
+
+PhysicalMemoryAllocator::PhysicalMemoryAllocator(const Config& cfg) : cfg_(cfg) {
+  if (cfg_.chunk_bytes == 0 || cfg_.capacity_bytes < cfg_.chunk_bytes) {
+    throw std::invalid_argument("PMA: capacity smaller than one chunk");
+  }
+  if (cfg_.slab_chunks == 0) {
+    throw std::invalid_argument("PMA: slab_chunks must be >= 1");
+  }
+  total_chunks_ = cfg_.capacity_bytes / cfg_.chunk_bytes;
+}
+
+PhysicalMemoryAllocator::AllocResult PhysicalMemoryAllocator::alloc_chunk() {
+  AllocResult res;
+  if (cached_ == 0) {
+    // Cache empty: go to RM for a slab (clamped to remaining capacity).
+    std::uint64_t remaining = total_chunks_ - in_use_;
+    if (remaining == 0) return res;  // exhausted -> eviction required
+    std::uint64_t grab = std::min<std::uint64_t>(cfg_.slab_chunks, remaining);
+    cached_ = grab;
+    ++rm_calls_;
+    res.rm_calls = 1;
+  }
+  --cached_;
+  ++in_use_;
+  ++allocs_;
+  res.ok = true;
+  return res;
+}
+
+void PhysicalMemoryAllocator::free_chunk() {
+  if (in_use_ == 0) throw std::logic_error("PMA: free without alloc");
+  --in_use_;
+  ++cached_;
+}
+
+}  // namespace uvmsim

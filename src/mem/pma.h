@@ -1,0 +1,71 @@
+// Physical Memory Allocator (PMA) model.
+//
+// The UVM driver obtains GPU physical memory by calling into the proprietary
+// resource-manager (RM) driver. Each RM call is expensive (the paper observes
+// latency-bound, milliseconds-scale variance at small sizes, §III-D), so the
+// UVM PMA over-allocates: one RM call grabs a slab of root chunks and caches
+// the spares, making subsequent allocations nearly free until the cache
+// drains. This class models exactly that: a fixed GPU capacity, carved into
+// chunk_bytes root chunks, an RM-call counter, and a free-chunk cache.
+//
+// Allocation failure (capacity exhausted) is the driver's eviction trigger.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace uvmsim {
+
+class PhysicalMemoryAllocator {
+ public:
+  struct Config {
+    std::uint64_t capacity_bytes = 128ull * 1024 * 1024;  ///< GPU memory size
+    std::uint64_t chunk_bytes = 2ull * 1024 * 1024;       ///< root chunk = VABlock
+    /// Chunks fetched per RM call (over-allocation factor). The real driver
+    /// grabs large slabs to amortize the RM round trip.
+    std::uint32_t slab_chunks = 16;
+  };
+
+  /// Result of an allocation attempt.
+  struct AllocResult {
+    bool ok = false;          ///< chunk handed out
+    std::uint32_t rm_calls = 0;  ///< RM round trips performed (0 on cache hit)
+  };
+
+  explicit PhysicalMemoryAllocator(const Config& cfg);
+
+  /// Tries to allocate one root chunk. On capacity exhaustion returns
+  /// ok=false and the caller must evict and retry.
+  AllocResult alloc_chunk();
+
+  /// Returns one chunk to the free cache (eviction completed).
+  void free_chunk();
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const { return cfg_.capacity_bytes; }
+  [[nodiscard]] std::uint64_t chunk_bytes() const { return cfg_.chunk_bytes; }
+  /// Chunks handed out and currently in use.
+  [[nodiscard]] std::uint64_t chunks_in_use() const { return in_use_; }
+  /// Chunks sitting in the free cache (fetched from RM but unassigned).
+  [[nodiscard]] std::uint64_t cached_chunks() const { return cached_; }
+  /// Total chunks the GPU can hold.
+  [[nodiscard]] std::uint64_t total_chunks() const { return total_chunks_; }
+  /// Cumulative RM calls (each one costs cost_model.pma_rm_call).
+  [[nodiscard]] std::uint64_t rm_calls() const { return rm_calls_; }
+  /// Cumulative chunk allocations served (cache hits + RM-backed).
+  [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
+
+  /// True when a new chunk cannot be produced without eviction.
+  [[nodiscard]] bool exhausted() const {
+    return cached_ == 0 && in_use_ + cached_ >= total_chunks_;
+  }
+
+ private:
+  Config cfg_;
+  std::uint64_t total_chunks_;
+  std::uint64_t in_use_ = 0;
+  std::uint64_t cached_ = 0;
+  std::uint64_t rm_calls_ = 0;
+  std::uint64_t allocs_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,103 @@
+// Discrete-event scheduler.
+//
+// The simulator is driven by a single EventQueue: actors (GPU engine, UVM
+// driver, DMA engine) schedule callbacks at future simulated times, and
+// EventQueue::run() executes them in timestamp order, advancing the simulated
+// clock. Events with equal timestamps execute in scheduling (FIFO) order so
+// runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace uvmsim {
+
+/// Handle used to cancel a scheduled event. Default-constructed handles are
+/// inert. Cancelling an already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Marks the underlying event dead; it will be skipped when popped.
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if this handle refers to an event that has not yet fired or been
+  /// cancelled.
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// A deterministic single-threaded discrete-event queue.
+///
+/// Invariants:
+///  * now() is monotonically non-decreasing across callback executions.
+///  * Scheduling into the past is a programming error and throws.
+///  * Two events at the same timestamp run in the order they were scheduled.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Outside run() this is the time of the last
+  /// executed event (or 0 before any event ran).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (>= now()).
+  /// Returns a handle that can cancel the event before it fires.
+  EventHandle schedule_at(SimTime when, Callback cb);
+
+  /// Schedules `cb` to run `delay` after the current time.
+  EventHandle schedule_in(SimDuration delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Runs events until the queue is empty. Returns the final simulated time.
+  SimTime run();
+
+  /// Runs events until the queue is empty or `deadline` is reached. Events
+  /// scheduled at exactly `deadline` do run. Returns the final time.
+  SimTime run_until(SimTime deadline);
+
+  /// Executes a single event if one is pending. Returns false if empty.
+  bool step();
+
+  /// Number of live (non-cancelled) events still pending. O(n).
+  [[nodiscard]] std::size_t pending_events() const;
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const { return pending_events() == 0; }
+
+  /// Total number of events executed so far (cancelled events excluded).
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  // FIFO tiebreak for equal timestamps
+    Callback cb;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace uvmsim

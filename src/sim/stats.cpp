@@ -1,0 +1,105 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace uvmsim {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-merge formulas.
+  double delta = other.mean_ - mean_;
+  std::uint64_t n = n_ + other.n_;
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  double nn = static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / nn;
+  mean_ += delta * nb / nn;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+namespace {
+int bucket_index(std::uint64_t v) {
+  if (v == 0) return 0;
+  return std::bit_width(v);  // v in [2^(w-1), 2^w) -> bucket w
+}
+}  // namespace
+
+void LogHistogram::add(std::uint64_t value) {
+  ++buckets_[bucket_index(value)];
+  ++total_;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      if (i == 0) return 0.5;
+      double lo = std::ldexp(1.0, i - 1);
+      double hi = std::ldexp(1.0, i);
+      return (lo + hi) / 2.0;
+    }
+  }
+  return std::ldexp(1.0, kBuckets - 1);
+}
+
+std::string LogHistogram::to_string() const {
+  std::ostringstream os;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    std::uint64_t lo = (i == 0) ? 0 : (1ULL << (i - 1));
+    std::uint64_t hi = (i == 0) ? 1 : (i == 64 ? ~0ULL : (1ULL << i));
+    os << lo << ' ' << hi << ' ' << buckets_[i] << '\n';
+  }
+  return os.str();
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+}  // namespace uvmsim

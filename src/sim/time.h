@@ -1,0 +1,33 @@
+// Simulated-time primitives.
+//
+// All simulation timestamps are unsigned 64-bit nanosecond counts from the
+// start of the run. Nanosecond resolution at 64 bits covers ~584 years of
+// simulated time, far beyond any experiment in this repository.
+#pragma once
+
+#include <cstdint>
+
+namespace uvmsim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::uint64_t;
+
+/// Convenience literals/constants for constructing durations.
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Converts a duration to floating-point microseconds (for reporting).
+constexpr double to_us(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+/// Converts a duration to floating-point milliseconds (for reporting).
+constexpr double to_ms(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+/// Converts a duration to floating-point seconds (for reporting).
+constexpr double to_s(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace uvmsim

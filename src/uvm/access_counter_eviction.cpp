@@ -1,0 +1,13 @@
+#include "uvm/access_counter_eviction.h"
+
+namespace uvmsim {
+
+void AccessCounterEviction::on_access_notification(
+    const AccessCounterNotification& n) {
+  std::uint32_t first_page = n.big_page * kPagesPerBigPage;
+  SliceKey k{n.block, first_page / pages_per_slice_};
+  promote(k);
+  ++promotions_;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,24 @@
+#include "uvm/adaptive_prefetcher.h"
+
+namespace uvmsim {
+
+AdaptivePrefetcher::AdaptivePrefetcher() : AdaptivePrefetcher(Config{}) {}
+
+void AdaptivePrefetcher::observe_batch(std::uint64_t evictions_in_batch) {
+  if (evictions_in_batch > 0) {
+    calm_batches_ = 0;
+    if (level_ + 1 < cfg_.levels.size()) {
+      ++level_;
+      ++escalations_;
+    }
+    return;
+  }
+  if (level_ == 0) return;
+  if (++calm_batches_ >= cfg_.cooldown_batches) {
+    --level_;
+    ++deescalations_;
+    calm_batches_ = 0;
+  }
+}
+
+}  // namespace uvmsim

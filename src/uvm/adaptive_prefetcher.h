@@ -1,0 +1,54 @@
+// Adaptive prefetching heuristic (paper §VI-B, "Adaptive prefetching").
+//
+// The paper observes that a 1 % threshold rivals explicit transfer for
+// undersubscribed workloads (§IV-C), while under oversubscription prefetching
+// actively hurts (§V-A2) — and suggests the driver "could adapt some simple
+// heuristics to adaptively tune prefetching ... infer from the fault/eviction
+// load how effective prefetching is and tune the prefetching threshold
+// accordingly."
+//
+// This implements that heuristic with hysteresis: the effective threshold
+// starts aggressive; any eviction observed in a batch window escalates one
+// level towards disabled, and a run of eviction-free batches de-escalates
+// back towards aggressive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace uvmsim {
+
+class AdaptivePrefetcher {
+ public:
+  struct Config {
+    /// Threshold ladder, aggressive -> conservative -> disabled (>100 means
+    /// the density stage is off).
+    std::array<std::uint32_t, 3> levels = {1, 51, 101};
+    /// Consecutive eviction-free batches required to de-escalate one level.
+    std::uint32_t cooldown_batches = 32;
+  };
+
+  AdaptivePrefetcher();
+  explicit AdaptivePrefetcher(const Config& cfg) : cfg_(cfg) {}
+
+  /// Feeds per-batch observations. Call once per driver pass.
+  void observe_batch(std::uint64_t evictions_in_batch);
+
+  /// The effective density threshold for the next batch (1..101).
+  [[nodiscard]] std::uint32_t threshold() const {
+    return cfg_.levels[level_];
+  }
+  /// True when the density stage is active.
+  [[nodiscard]] bool density_enabled() const { return threshold() <= 100; }
+  [[nodiscard]] std::uint32_t escalations() const { return escalations_; }
+  [[nodiscard]] std::uint32_t deescalations() const { return deescalations_; }
+
+ private:
+  Config cfg_;
+  std::uint32_t level_ = 0;  ///< index into cfg_.levels
+  std::uint32_t calm_batches_ = 0;
+  std::uint32_t escalations_ = 0;
+  std::uint32_t deescalations_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,3 @@
+#include "uvm/cost_model.h"
+
+// Plain aggregate of tunables; TU anchors the header in the build.

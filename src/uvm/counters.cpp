@@ -1,0 +1,3 @@
+#include "uvm/counters.h"
+
+// Plain aggregate; TU anchors the header in the build.

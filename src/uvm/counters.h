@@ -1,0 +1,50 @@
+// Driver event counters (the paper's Table I / Table II raw material).
+#pragma once
+
+#include <cstdint>
+
+namespace uvmsim {
+
+struct DriverCounters {
+  std::uint64_t passes = 0;             ///< driver batch passes executed
+  std::uint64_t batches = 0;            ///< non-empty batches processed
+  std::uint64_t wakeups = 0;            ///< interrupt-driven wakeups
+  std::uint64_t faults_fetched = 0;     ///< entries read from the fault buffer
+  std::uint64_t faults_serviced = 0;    ///< non-duplicate faults handled
+  std::uint64_t duplicate_faults = 0;   ///< batch-dedup'd (same page twice)
+  std::uint64_t stale_faults = 0;       ///< page already resident at service
+  std::uint64_t polls = 0;              ///< not-ready poll iterations
+  std::uint64_t blocks_serviced = 0;    ///< VABlock bins processed
+  std::uint64_t pages_migrated_h2d = 0; ///< demand + prefetch migrations
+  std::uint64_t pages_zeroed = 0;       ///< first-touch zero-fills
+  std::uint64_t pages_prefetched = 0;   ///< pages moved only by prefetching
+  std::uint64_t replays_issued = 0;
+  std::uint64_t buffer_flushes = 0;
+  std::uint64_t flushed_entries = 0;
+  std::uint64_t evictions = 0;          ///< allocation slices evicted
+  std::uint64_t pages_evicted = 0;      ///< pages written back device->host
+  std::uint64_t prefetched_evicted_unused = 0;  ///< prefetched, never touched, evicted
+  std::uint64_t service_restarts = 0;   ///< fault paths restarted by eviction
+  std::uint64_t access_notifications = 0;  ///< access-counter records drained
+
+  // --- access-behaviour extensions (paper §III-A behaviours 2 and 3) ---
+  std::uint64_t pages_remote_mapped = 0;   ///< zero-copy mappings installed
+  std::uint64_t pages_duplicated = 0;      ///< read-mostly duplications
+  std::uint64_t writebacks_avoided = 0;    ///< evicted pages with valid host copy
+  std::uint64_t cpu_faults_serviced = 0;   ///< host-side access migrations
+  std::uint64_t prefetch_async_pages = 0;  ///< explicit bulk-prefetch pages
+
+  /// Extra pages serviced because base pages are wider than 4 KB (Power9
+  /// mode): the non-faulted remainder of each faulted base-page group.
+  std::uint64_t base_page_fill_pages = 0;
+
+  /// Remote-mapped pages promoted to local residency by access-counter
+  /// notifications (uvm_perf_access_counters-style migration).
+  std::uint64_t counter_promoted_pages = 0;
+
+  // --- thrashing mitigation ---
+  std::uint64_t thrash_pinned_pages = 0;   ///< faults served by pin/remote map
+  std::uint64_t thrash_throttles = 0;      ///< throttled block services
+};
+
+}  // namespace uvmsim

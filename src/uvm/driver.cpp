@@ -1,0 +1,573 @@
+#include "uvm/driver.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "uvm/access_counter_eviction.h"
+#include "uvm/eviction_lru.h"
+#include "uvm/prefetcher.h"
+#include "uvm/service.h"
+
+namespace uvmsim {
+
+Driver::Driver(const DriverConfig& cfg, const CostModel& cm, const Deps& deps,
+               bool enable_fault_log)
+    : cfg_(cfg), cm_(cm), d_(deps), log_(enable_fault_log) {
+  if (cfg_.batch_size == 0) {
+    throw std::invalid_argument("Driver: batch_size must be >= 1");
+  }
+  if (cfg_.alloc_granularity_bytes == 0 ||
+      cfg_.alloc_granularity_bytes % kPageSize != 0 ||
+      kVaBlockSize % cfg_.alloc_granularity_bytes != 0) {
+    throw std::invalid_argument(
+        "Driver: alloc_granularity must divide 2 MB and be page-aligned");
+  }
+  if (cfg_.base_page_pages == 0 ||
+      kPagesPerBlock % cfg_.base_page_pages != 0) {
+    throw std::invalid_argument(
+        "Driver: base_page_pages must divide the 512-page VABlock");
+  }
+  switch (cfg_.eviction_policy) {
+    case EvictionPolicyKind::Lru:
+      eviction_ = std::make_unique<LruEviction>();
+      break;
+    case EvictionPolicyKind::AccessCounter:
+      eviction_ =
+          std::make_unique<AccessCounterEviction>(cfg_.pages_per_slice());
+      break;
+  }
+  if (cfg_.adaptive_prefetch) {
+    adaptive_ = std::make_unique<AdaptivePrefetcher>();
+  }
+  thrashing_ = ThrashingDetector(cfg_.thrashing);
+  rng_ = Rng(cfg_.seed);
+}
+
+void Driver::on_gpu_interrupt() {
+  if (processing_ || wake_scheduled_) return;
+  wake_scheduled_ = true;
+  ++counters_.wakeups;
+  d_.eq->schedule_in(cm_.interrupt_latency, [this] {
+    wake_scheduled_ = false;
+    run_pass();
+  });
+}
+
+std::uint32_t Driver::effective_threshold() const {
+  return adaptive_ ? adaptive_->threshold() : cfg_.prefetch_threshold;
+}
+
+void Driver::run_pass() {
+  if (processing_ || d_.fb->empty()) return;
+  processing_ = true;
+  ++counters_.passes;
+  evictions_before_pass_ = counters_.evictions;
+
+  SimTime t = d_.eq->now() + cm_.pass_overhead;
+  if (counters_.passes == 1 && cm_.driver_cold_start > 0) {
+    // First-fault path: channels, VA-space structures, cold caches.
+    t += cm_.driver_cold_start;
+    prof_.add(CostCategory::ServiceOther, cm_.driver_cold_start);
+  }
+
+  // Access-counter notifications (extension path; zero cost when disabled).
+  t = drain_access_counters(t);
+
+  // --- pre-processing ---
+  SimTime t0 = t;
+  FaultBatch batch = Preprocessor::fetch(*d_.fb, cfg_.batch_size, cm_, t,
+                                         cfg_.fetch_policy, &queue_latency_);
+  counters_.faults_fetched += batch.fetched;
+  counters_.duplicate_faults += batch.duplicates;
+  counters_.polls += batch.polls;
+  prof_.add(CostCategory::PreProcess, t - t0);
+
+  if (!batch.empty()) {
+    ++counters_.batches;
+    // --- service, one VABlock bin at a time ---
+    for (const auto& bin : batch.bins) {
+      t = service_bin(bin, t);
+      if (cfg_.replay_policy == ReplayPolicyKind::Block) {
+        t = issue_replay(t);
+      }
+    }
+    // --- end-of-batch replay policy ---
+    switch (cfg_.replay_policy) {
+      case ReplayPolicyKind::Block:
+        break;  // replays already issued per block
+      case ReplayPolicyKind::Batch:
+        t = issue_replay(t);
+        break;
+      case ReplayPolicyKind::BatchFlush:
+        t = flush_buffer(t);
+        t = issue_replay(t);
+        break;
+      case ReplayPolicyKind::Once:
+        break;  // handled at pass end, below
+    }
+  }
+
+  if (adaptive_) {
+    adaptive_->observe_batch(counters_.evictions - evictions_before_pass_);
+  }
+
+  // --- end of pass: resume at cursor time ---
+  d_.eq->schedule_at(t, [this] {
+    processing_ = false;
+    if (cfg_.replay_policy == ReplayPolicyKind::Once && d_.fb->empty() &&
+        d_.gpu->has_stalled_warps()) {
+      prof_.add(CostCategory::ReplayPolicy, cm_.replay_issue);
+      ++counters_.replays_issued;
+      SimTime fire_at = std::max(d_.eq->now() + cm_.replay_issue,
+                                 migrations_inflight_until_);
+      d_.eq->schedule_at(fire_at, [this] { d_.gpu->replay(); });
+    }
+    if (!d_.fb->empty()) run_pass();
+  });
+}
+
+SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
+  VaBlock& blk = d_.as->block(bin.block);
+  ++counters_.blocks_serviced;
+  blk.service_locked = true;
+
+  SimTime t0 = t;
+  t += cm_.service_block_overhead;
+
+  // Split stale (already resident — e.g. a Batch-policy leftover) from
+  // pages that genuinely need service.
+  PageMask mapped = blk.gpu_resident | blk.remote_mapped;
+  PageMask stale = bin.faulted & mapped;
+  PageMask need = bin.faulted.and_not(mapped);
+  counters_.stale_faults += stale.count();
+
+  counters_.faults_serviced += need.count();
+
+  // Power9-style base pages: one fault covers the whole host page, so the
+  // service granularity widens to aligned base-page groups (§IV-A / [14]).
+  // The widened remainder is accounted separately so fault conservation
+  // (fetched == serviced + duplicate + stale) holds at every granularity.
+  if (cfg_.base_page_pages > 1 && need.any()) {
+    PageMask widened;
+    for (std::uint32_t i : need.set_indices()) {
+      std::uint32_t lo = i - i % cfg_.base_page_pages;
+      std::uint32_t hi =
+          std::min(lo + cfg_.base_page_pages, blk.num_pages);
+      widened.set_range(lo, hi);
+    }
+    PageMask fill = widened.and_not(mapped).and_not(need);
+    counters_.base_page_fill_pages += fill.count();
+    need |= fill;
+  }
+  prof_.add(CostCategory::ServiceOther, t - t0);
+
+  // Fault log: one record per unique fault, in driver processing order.
+  if (log_.enabled()) {
+    for (std::uint32_t i : bin.faulted.set_indices()) {
+      log_.record(FaultLogEntry{0, t, FaultLogKind::Fault, blk.first_page + i,
+                                blk.id, blk.range, stale.test(i)});
+    }
+  }
+
+  // Fault-driven LRU touch (the only residency signal the stock policy has).
+  for (std::uint32_t s : touched_slices(bin.faulted, cfg_.pages_per_slice())) {
+    eviction_->on_slice_touched(SliceKey{blk.id, s});
+  }
+
+  if (need.none()) {
+    blk.service_locked = false;
+    return t;
+  }
+
+  const MemAdvise& advise = d_.as->range(blk.range).advise;
+
+  // --- thrashing mitigation (perf_thrashing module) ---
+  ThrashingDetector::Advice thrash_advice =
+      thrashing_.on_fault(blk.id, t);
+  if (thrash_advice == ThrashingDetector::Advice::Pin) {
+    // Stop bouncing the data: serve this block's faults via remote
+    // mapping until the thrash score decays.
+    t0 = t;
+    d_.pt->map_remote(blk, need);
+    t += cm_.map_membar +
+         static_cast<SimDuration>(need.count()) * cm_.map_per_page;
+    counters_.thrash_pinned_pages += need.count();
+    prof_.add(CostCategory::ServiceMap, t - t0);
+    blk.service_locked = false;
+    return t;
+  }
+  if (thrash_advice == ThrashingDetector::Advice::Throttle) {
+    t += cfg_.thrashing.throttle_delay;
+    prof_.add(CostCategory::ServiceOther, cfg_.thrashing.throttle_delay);
+    ++counters_.thrash_throttles;
+  }
+
+  // --- remote mapping (paper §III-A behaviour 2): map, never migrate ---
+  if (advise.remote_map) {
+    t0 = t;
+    d_.pt->map_remote(blk, need);
+    t += cm_.map_membar +
+         static_cast<SimDuration>(need.count()) * cm_.map_per_page;
+    counters_.pages_remote_mapped += need.count();
+    prof_.add(CostCategory::ServiceMap, t - t0);
+    blk.service_locked = false;
+    return t;
+  }
+
+  // --- prefetch computation ---
+  PageMask prefetch;
+  if (cfg_.prefetch_enabled) {
+    t0 = t;
+    Prefetcher::Result pres = Prefetcher::compute(
+        blk, need, cfg_.big_page_upgrade, effective_threshold());
+    prefetch = pres.prefetch;
+    t += cm_.prefetch_compute_per_block +
+         static_cast<SimDuration>(pres.tree_updates) *
+             cm_.prefetch_compute_per_fault;
+    prof_.add(CostCategory::ServiceOther, t - t0);
+  }
+  PageMask to_populate = need | prefetch;
+
+  // --- physical backing (may evict, may restart) ---
+  bool restarted = false;
+  t = ensure_backing(blk, to_populate, t, restarted);
+
+  // --- zero-fill never-populated pages (data born on the GPU) ---
+  PageMask zero = to_populate.and_not(blk.ever_populated);
+  if (zero.any()) {
+    t0 = t;
+    t = d_.dma->zero_fill(t, static_cast<std::uint64_t>(zero.count()) * kPageSize);
+    blk.ever_populated |= zero;
+    counters_.pages_zeroed += zero.count();
+    prof_.add(CostCategory::ServiceZero, t - t0);
+  }
+
+  // --- migrate host-resident data, coalesced into contiguous runs ---
+  PageMask migrate = to_populate & blk.cpu_resident & blk.ever_populated;
+  if (migrate.any()) {
+    t0 = t;
+    auto run_bytes = runs_to_bytes(migrate.runs());
+    if (cfg_.pipelined_migrations) {
+      // Issue asynchronously: the cursor advances only by the CPU-side
+      // submission cost; the copy's completion gates the next replay.
+      SimTime done =
+          d_.dma->copy_runs(Direction::HostToDevice, t, run_bytes);
+      migrations_inflight_until_ =
+          std::max(migrations_inflight_until_, done);
+      t += static_cast<SimDuration>(run_bytes.size()) *
+           cm_.migrate_issue_per_run;
+    } else {
+      t = d_.dma->copy_runs(Direction::HostToDevice, t, run_bytes);
+    }
+    if (advise.read_mostly &&
+        bin.strongest_access == FaultAccessType::Read) {
+      // Read-only duplication (paper §III-A behaviour 3): both copies stay
+      // valid; a later GPU write collapses it.
+      blk.read_duplicated |= migrate;
+      counters_.pages_duplicated += migrate.count();
+    } else {
+      blk.cpu_resident &= ~migrate;  // paged migration unmaps the source
+    }
+    counters_.pages_migrated_h2d += migrate.count();
+    prof_.add(CostCategory::ServiceMigrate, t - t0);
+  }
+
+  // --- map everything we populated ---
+  t0 = t;
+  d_.pt->map_pages(blk, to_populate);
+  t += cm_.map_membar + static_cast<SimDuration>(to_populate.count()) *
+                            cm_.map_per_page;
+  prof_.add(CostCategory::ServiceMap, t - t0);
+
+  // Prefetch bookkeeping.
+  if (prefetch.any()) {
+    counters_.pages_prefetched += prefetch.count();
+    blk.prefetched_unused |= prefetch;
+    if (log_.enabled()) {
+      for (std::uint32_t i : prefetch.set_indices()) {
+        log_.record(FaultLogEntry{0, t, FaultLogKind::Prefetch,
+                                  blk.first_page + i, blk.id, blk.range,
+                                  false});
+      }
+    }
+  }
+  (void)restarted;
+
+  blk.service_locked = false;
+  return t;
+}
+
+SimTime Driver::ensure_backing(VaBlock& blk, const PageMask& to_populate,
+                               SimTime t, bool& restarted) {
+  for (std::uint32_t s : touched_slices(to_populate, cfg_.pages_per_slice())) {
+    if (blk.backed_slices.test(s)) continue;
+    for (;;) {
+      auto res = d_.pma->alloc_chunk();
+      if (res.ok) {
+        SimDuration cost = cm_.pma_cached_alloc;
+        if (res.rm_calls > 0) {
+          // The RM round trip is latency-bound and variable (§III-D).
+          double jittered = rng_.next_gaussian(
+              static_cast<double>(cm_.pma_rm_call),
+              static_cast<double>(cm_.pma_rm_call_stddev));
+          double floor = static_cast<double>(cm_.pma_rm_call) / 3.0;
+          cost = static_cast<SimDuration>(std::max(jittered, floor));
+        }
+        t += cost;
+        prof_.add(CostCategory::ServicePmaAlloc, cost);
+        break;
+      }
+      // Exhausted: evict and retry. Every eviction drops the faulting
+      // block's lock while the victim is held, restarting this fault path
+      // (§V-A2) — the penalty recurs per eviction.
+      t = evict_victim(t, blk.id);
+      restarted = true;
+      t += cm_.service_restart;
+      prof_.add(CostCategory::Eviction, cm_.service_restart);
+      ++counters_.service_restarts;
+    }
+    blk.backed_slices.set(s);
+    eviction_->on_slice_allocated(SliceKey{blk.id, s});
+  }
+  return t;
+}
+
+SimTime Driver::evict_victim(SimTime t, VaBlockId faulting_block) {
+  auto base_ok = [&](SliceKey k) {
+    if (k.block == faulting_block) return false;
+    return !d_.as->block(k.block).service_locked;
+  };
+  // Honor cudaMemAdvise preferred-location hints: evict non-preferred
+  // slices first, fall back to anything eligible.
+  auto not_preferred = [&](SliceKey k) {
+    if (!base_ok(k)) return false;
+    const VaBlock& b = d_.as->block(k.block);
+    return !d_.as->range(b.range).advise.preferred_location_gpu;
+  };
+  std::optional<SliceKey> v = eviction_->pick_victim(not_preferred);
+  if (!v) v = eviction_->pick_victim(base_ok);
+  if (!v) {
+    throw std::runtime_error(
+        "UVM eviction: no eligible victim — GPU memory too small for the "
+        "active working set");
+  }
+
+  SimTime t0 = t;
+  VaBlock& vb = d_.as->block(v->block);
+  PageMask smask = slice_mask(v->slice, cfg_.pages_per_slice(), vb.num_pages);
+  PageMask resident = vb.gpu_resident & smask;
+
+  t += cm_.evict_overhead;
+  // Device-to-host writeback: needed for every resident page whose host
+  // copy is invalid (paged migration unmapped it). Read-duplicated pages
+  // still have a valid host copy and skip the transfer.
+  PageMask writeback = resident.and_not(vb.cpu_resident);
+  counters_.writebacks_avoided += resident.count() - writeback.count();
+  if (writeback.any()) {
+    t = d_.dma->copy_runs(Direction::DeviceToHost, t,
+                          runs_to_bytes(writeback.runs()));
+  }
+  counters_.pages_evicted += writeback.count();
+  counters_.prefetched_evicted_unused +=
+      (vb.prefetched_unused & smask).count();
+
+  d_.pt->unmap_pages(vb, resident);
+  t += cm_.map_membar +
+       static_cast<SimDuration>(resident.count()) * cm_.unmap_per_page;
+  d_.gpu->invalidate_tlbs();
+
+  vb.cpu_resident |= resident;
+  vb.read_duplicated &= ~smask;
+  vb.dirty &= ~smask;
+  thrashing_.on_eviction(vb.id, t);
+  vb.prefetched_unused &= ~smask;
+  vb.backed_slices.reset(v->slice);
+  ++vb.eviction_count;
+  d_.pma->free_chunk();
+  eviction_->on_slice_evicted(*v);
+  ++counters_.evictions;
+
+  if (log_.enabled()) {
+    log_.record(FaultLogEntry{
+        0, t, FaultLogKind::Eviction,
+        vb.first_page + v->slice * cfg_.pages_per_slice(), vb.id, vb.range,
+        false});
+  }
+  prof_.add(CostCategory::Eviction, t - t0);
+  return t;
+}
+
+SimTime Driver::service_cpu_access(VirtPage first, std::uint64_t npages,
+                                   bool write) {
+  SimTime t = d_.eq->now();
+  VirtPage end = first + npages;
+  for (VirtPage p = first; p < end;) {
+    VaBlock& blk = d_.as->block_of(p);
+    std::uint32_t lo = page_in_block(p);
+    std::uint32_t hi = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(blk.num_pages, lo + (end - p)));
+    if (hi <= lo) break;  // defensive: past the block's valid pages
+    PageMask window;
+    window.set_range(lo, hi);
+    p += hi - lo;
+
+    // Pages valid on the host already (resident or duplicated) are free.
+    PageMask gpu_only = (blk.gpu_resident & window).and_not(blk.cpu_resident);
+    if (gpu_only.none() && !write) continue;
+
+    SimTime t0 = t;
+    if (gpu_only.any()) {
+      t += cm_.service_block_overhead;  // CPU fault handling bookkeeping
+      t = d_.dma->copy_runs(Direction::DeviceToHost, t,
+                            runs_to_bytes(gpu_only.runs()));
+      blk.cpu_resident |= gpu_only;
+      counters_.cpu_faults_serviced += gpu_only.count();
+    }
+    if (write) {
+      // Host writes invalidate every GPU copy in the window.
+      PageMask gpu_copies = blk.gpu_resident & window;
+      if (gpu_copies.any()) {
+        d_.pt->unmap_pages(blk, gpu_copies);
+        t += cm_.map_membar + static_cast<SimDuration>(gpu_copies.count()) *
+                                  cm_.unmap_per_page;
+        d_.gpu->invalidate_tlbs();
+        blk.read_duplicated &= ~window;
+        blk.dirty &= ~window;
+      }
+      blk.ever_populated |= window;
+    }
+    prof_.add(CostCategory::ServiceMigrate, t - t0);
+  }
+  return t;
+}
+
+SimTime Driver::prefetch_pages(VirtPage first, std::uint64_t npages) {
+  SimTime t = d_.eq->now();
+  VirtPage end = first + npages;
+  for (VirtPage p = first; p < end;) {
+    VaBlock& blk = d_.as->block_of(p);
+    std::uint32_t lo = page_in_block(p);
+    std::uint32_t hi = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(blk.num_pages, lo + (end - p)));
+    if (hi <= lo) break;  // defensive: past the block's valid pages
+    PageMask window;
+    window.set_range(lo, hi);
+    p += hi - lo;
+
+    // Remote-mapped pages are pinned to the host by design; bulk prefetch
+    // must not migrate them.
+    PageMask to_move = (window & blk.cpu_resident & blk.ever_populated)
+                           .and_not(blk.gpu_resident)
+                           .and_not(blk.remote_mapped);
+    if (to_move.none()) continue;
+
+    blk.service_locked = true;
+    bool restarted = false;
+    t = ensure_backing(blk, to_move, t, restarted);
+
+    SimTime t0 = t;
+    t = d_.dma->copy_runs(Direction::HostToDevice, t,
+                          runs_to_bytes(to_move.runs()));
+    blk.cpu_resident &= ~to_move;
+    counters_.pages_migrated_h2d += to_move.count();
+    counters_.prefetch_async_pages += to_move.count();
+    prof_.add(CostCategory::ServiceMigrate, t - t0);
+
+    t0 = t;
+    d_.pt->map_pages(blk, to_move);
+    t += cm_.map_membar +
+         static_cast<SimDuration>(to_move.count()) * cm_.map_per_page;
+    prof_.add(CostCategory::ServiceMap, t - t0);
+
+    for (std::uint32_t s : touched_slices(to_move, cfg_.pages_per_slice())) {
+      eviction_->on_slice_touched(SliceKey{blk.id, s});
+    }
+    blk.service_locked = false;
+  }
+  return t;
+}
+
+SimTime Driver::issue_replay(SimTime t) {
+  prof_.add(CostCategory::ReplayPolicy, cm_.replay_issue);
+  ++counters_.replays_issued;
+  t += cm_.replay_issue;
+  // Pipelined migrations: warps must not resume before their data lands,
+  // so the replay notification trails the last outstanding copy. The
+  // driver itself keeps working — only the replay waits.
+  SimTime fire_at = std::max(t, migrations_inflight_until_);
+  d_.eq->schedule_at(fire_at, [this] { d_.gpu->replay(); });
+  return t;
+}
+
+SimTime Driver::flush_buffer(SimTime t) {
+  SimDuration cost = cm_.flush_base + cm_.flush_per_entry * d_.fb->size();
+  prof_.add(CostCategory::ReplayPolicy, cost);
+  ++counters_.buffer_flushes;
+  t += cost;
+  d_.eq->schedule_at(t, [this] {
+    counters_.flushed_entries += d_.fb->flush();
+  });
+  return t;
+}
+
+SimTime Driver::drain_access_counters(SimTime t) {
+  if (!d_.ac->enabled()) return t;
+  auto notes = d_.ac->drain(~std::size_t{0});
+  if (notes.empty()) return t;
+  SimDuration cost =
+      static_cast<SimDuration>(notes.size()) * cm_.access_notification;
+  prof_.add(CostCategory::PreProcess, cost);
+  counters_.access_notifications += notes.size();
+  t += cost;
+  for (const auto& n : notes) {
+    eviction_->on_access_notification(n);
+    if (cfg_.access_counter_migration) t = promote_hot_region(n, t);
+  }
+  return t;
+}
+
+SimTime Driver::promote_hot_region(const AccessCounterNotification& n,
+                                   SimTime t) {
+  VaBlock& blk = d_.as->block(n.block);
+  std::uint32_t lo = n.big_page * kPagesPerBigPage;
+  std::uint32_t hi = std::min(lo + kPagesPerBigPage, blk.num_pages);
+  if (lo >= blk.num_pages) return t;
+  PageMask window;
+  window.set_range(lo, hi);
+
+  PageMask remote = blk.remote_mapped & window;
+  if (remote.none()) return t;
+
+  blk.service_locked = true;
+  bool restarted = false;
+  t = ensure_backing(blk, remote, t, restarted);
+
+  SimTime t0 = t;
+  // Drop the remote view, migrate the data local, and re-map resident (the
+  // PTE rewrite + membar are charged with the map below).
+  blk.remote_mapped &= ~remote;
+  PageMask migrate = remote & blk.cpu_resident & blk.ever_populated;
+  if (migrate.any()) {
+    t = d_.dma->copy_runs(Direction::HostToDevice, t,
+                          runs_to_bytes(migrate.runs()));
+    blk.cpu_resident &= ~migrate;
+    counters_.pages_migrated_h2d += migrate.count();
+  }
+  prof_.add(CostCategory::ServiceMigrate, t - t0);
+
+  t0 = t;
+  d_.pt->map_pages(blk, remote);
+  t += cm_.map_membar +
+       static_cast<SimDuration>(remote.count()) * cm_.map_per_page;
+  d_.gpu->invalidate_tlbs();  // the translation kind changed
+  prof_.add(CostCategory::ServiceMap, t - t0);
+
+  counters_.counter_promoted_pages += remote.count();
+  for (std::uint32_t s : touched_slices(remote, cfg_.pages_per_slice())) {
+    eviction_->on_slice_touched(SliceKey{blk.id, s});
+  }
+  blk.service_locked = false;
+  return t;
+}
+
+}  // namespace uvmsim

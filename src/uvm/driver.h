@@ -1,0 +1,139 @@
+// The UVM driver model: the system under study.
+//
+// Reproduces the fault-handling loop of NVIDIA's open-source UVM kernel
+// module as the paper describes it (§III): an interrupt wakes the driver;
+// each pass fetches one batch of faults from the GPU buffer (pre-processing:
+// fetch, poll, sort, VABlock binning), services each binned VABlock
+// (physical allocation via the PMA — possibly triggering LRU eviction and a
+// service restart — zero-fill, coalesced H2D migration, page mapping with
+// membar/TLB invalidate, and the two-stage prefetcher), and then issues
+// fault replays according to the configured policy. All driver time is
+// charged to a Profiler using the paper's cost categories, and every
+// serviced fault / prefetch / eviction is appended to the FaultLog.
+//
+// The driver is strictly serial (one fault-servicing path per GPU, as in the
+// real module); its work is simulated by advancing a time cursor through the
+// cost model and scheduling the externally visible effects (replays, buffer
+// flushes, pass continuation) on the event queue.
+#pragma once
+
+#include <memory>
+
+#include "core/fault_log.h"
+#include "core/profiler.h"
+#include "sim/rng.h"
+#include "gpu/access_counters.h"
+#include "gpu/fault_buffer.h"
+#include "gpu/gpu_engine.h"
+#include "mem/address_space.h"
+#include "mem/dma_engine.h"
+#include "mem/page_table.h"
+#include "mem/pma.h"
+#include "sim/event_queue.h"
+#include "uvm/adaptive_prefetcher.h"
+#include "uvm/cost_model.h"
+#include "uvm/counters.h"
+#include "uvm/driver_config.h"
+#include "uvm/eviction_policy.h"
+#include "uvm/fault_batch.h"
+#include "uvm/thrashing_detector.h"
+
+namespace uvmsim {
+
+class Driver {
+ public:
+  /// External subsystems the driver talks to; all outlive the driver.
+  struct Deps {
+    EventQueue* eq;
+    AddressSpace* as;
+    PageTable* pt;
+    FaultBuffer* fb;
+    GpuEngine* gpu;
+    PhysicalMemoryAllocator* pma;
+    DmaEngine* dma;
+    AccessCounters* ac;
+  };
+
+  Driver(const DriverConfig& cfg, const CostModel& cm, const Deps& deps,
+         bool enable_fault_log = true);
+
+  /// GPU interrupt line: schedules a wakeup unless the driver is already
+  /// processing or a wakeup is in flight.
+  void on_gpu_interrupt();
+
+  /// Host-side access path (CPU page fault): pages resident only on the GPU
+  /// migrate back (read-mostly ranges duplicate on reads instead); a write
+  /// unmaps the GPU copy. Returns the completion time. Intended for use
+  /// between kernels (host post-processing, pipelines).
+  SimTime service_cpu_access(VirtPage first, std::uint64_t npages,
+                             bool write);
+
+  /// Explicit bulk prefetch (cudaMemPrefetchAsync equivalent): backs,
+  /// migrates, and maps every host-resident page of [first, first+npages)
+  /// in coalesced block-sized transfers, evicting as needed. Returns the
+  /// completion time.
+  SimTime prefetch_pages(VirtPage first, std::uint64_t npages);
+
+  [[nodiscard]] bool idle() const { return !processing_ && !wake_scheduled_; }
+  [[nodiscard]] const DriverConfig& config() const { return cfg_; }
+  [[nodiscard]] const CostModel& cost_model() const { return cm_; }
+  [[nodiscard]] const DriverCounters& counters() const { return counters_; }
+  [[nodiscard]] const Profiler& profiler() const { return prof_; }
+  [[nodiscard]] const FaultLog& fault_log() const { return log_; }
+  [[nodiscard]] EvictionPolicy& eviction_policy() { return *eviction_; }
+  /// Non-null only when adaptive prefetching is enabled.
+  [[nodiscard]] const AdaptivePrefetcher* adaptive() const {
+    return adaptive_.get();
+  }
+  [[nodiscard]] const ThrashingDetector& thrashing() const {
+    return thrashing_;
+  }
+  /// Distribution of fault buffer-residence times (ns): raise to fetch.
+  [[nodiscard]] const LogHistogram& queue_latency() const {
+    return queue_latency_;
+  }
+
+ private:
+  void run_pass();
+  /// Services one VABlock bin; returns the advanced time cursor.
+  SimTime service_bin(const FaultBatch::Bin& bin, SimTime t);
+  /// Guarantees GPU backing for every slice touched by `to_populate`,
+  /// evicting as needed. Sets `restarted` when an eviction forced the fault
+  /// path to restart.
+  SimTime ensure_backing(VaBlock& blk, const PageMask& to_populate, SimTime t,
+                         bool& restarted);
+  /// Evicts one LRU-eligible slice; throws if none is eligible.
+  SimTime evict_victim(SimTime t, VaBlockId faulting_block);
+  /// Charges and schedules a replay notification at cursor `t`.
+  SimTime issue_replay(SimTime t);
+  /// Charges and schedules a fault-buffer flush at cursor `t`.
+  SimTime flush_buffer(SimTime t);
+  /// Drains access-counter notifications into the eviction policy (and the
+  /// promotion path when access_counter_migration is on).
+  SimTime drain_access_counters(SimTime t);
+  /// Migrates a hot remote-mapped big page to local GPU memory.
+  SimTime promote_hot_region(const AccessCounterNotification& n, SimTime t);
+  /// Density threshold for this pass (config or adaptive).
+  [[nodiscard]] std::uint32_t effective_threshold() const;
+
+  DriverConfig cfg_;
+  CostModel cm_;
+  Deps d_;
+  DriverCounters counters_;
+  Profiler prof_;
+  FaultLog log_;
+  std::unique_ptr<EvictionPolicy> eviction_;
+  std::unique_ptr<AdaptivePrefetcher> adaptive_;
+  ThrashingDetector thrashing_{ThrashingDetector::Config{}};
+  LogHistogram queue_latency_;
+  Rng rng_{0xD21};  ///< driver-internal stochastic costs (RM jitter)
+
+  bool processing_ = false;
+  bool wake_scheduled_ = false;
+  std::uint64_t evictions_before_pass_ = 0;
+  /// Completion time of the latest asynchronously issued migration
+  /// (pipelined-migration extension); replays never fire before it.
+  SimTime migrations_inflight_until_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,98 @@
+// UVM driver policy knobs (module parameters of the real driver).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/constants.h"
+#include "uvm/thrashing_detector.h"
+
+namespace uvmsim {
+
+/// How pre-processing reacts to a fault entry whose ready flag lags its
+/// queue pointer (paper §III-C: "Faults are fetched until the fault pointer
+/// queue is empty, the current batch of faults is full, or fault that is
+/// not ready is encountered, depending on policy").
+enum class FetchPolicy : std::uint8_t {
+  PollReady,       ///< spin on the ready flag until the entry lands (default)
+  StopAtNotReady,  ///< close the batch early at the first laggard
+};
+
+/// Fault replay policies (paper §III-E). They differ in when the driver
+/// tells the GPU to retry parked accesses.
+enum class ReplayPolicyKind : std::uint8_t {
+  Block,       ///< replay after each VABlock's faults are serviced
+  Batch,       ///< replay after each fault batch
+  BatchFlush,  ///< Batch + flush the fault buffer before replaying (default)
+  Once,        ///< replay only when the whole buffer has been serviced
+};
+
+[[nodiscard]] const char* to_string(ReplayPolicyKind k);
+
+/// Eviction policy selector.
+enum class EvictionPolicyKind : std::uint8_t {
+  Lru,            ///< stock fault-driven LRU (paper §V-A1)
+  AccessCounter,  ///< LRU promoted by Volta access counters (paper §VI-B)
+};
+
+struct DriverConfig {
+  /// Faults fetched per batch (driver default 256, paper §III-A).
+  std::uint32_t batch_size = 256;
+
+  /// Seed for driver-internal stochastic costs (RM-call jitter). The
+  /// Simulator derives it from the master seed.
+  std::uint64_t seed = 0xD21;
+
+  FetchPolicy fetch_policy = FetchPolicy::PollReady;
+
+  ReplayPolicyKind replay_policy = ReplayPolicyKind::BatchFlush;
+
+  /// Thrash detection/mitigation (the driver's perf_thrashing module;
+  /// disabled by default to match the paper's measurement setup).
+  ThrashingDetector::Config thrashing;
+
+  /// Extension: issue H2D migrations asynchronously and keep servicing
+  /// while the copy engines work; replays wait for the data they resume
+  /// onto. The stock driver (and the paper's measurements) block on each
+  /// migration — keep false to reproduce the paper.
+  bool pipelined_migrations = false;
+
+  /// Master prefetch switch (uvm_perf_prefetch_enable).
+  bool prefetch_enabled = true;
+  /// Density threshold percent (uvm_perf_prefetch_threshold, default 51).
+  std::uint32_t prefetch_threshold = 51;
+  /// Stage-1 upgrade of each faulted 4 KB page to its 64 KB big page.
+  bool big_page_upgrade = true;
+  /// Host base-page size in 4 KB pages: 1 = x86, 16 = Power9 (64 KB OS
+  /// pages — each fault is serviced at full base-page granularity and the
+  /// upgrade stage is redundant). Must divide 512 and pair with
+  /// GpuEngine::Config::fault_granularity_pages. SimConfig::set_host_page_
+  /// size() sets both.
+  std::uint32_t base_page_pages = 1;
+  /// §VI-B adaptive prefetching: auto-tunes the threshold from the observed
+  /// fault/eviction load (overrides prefetch_threshold when enabled).
+  bool adaptive_prefetch = false;
+
+  EvictionPolicyKind eviction_policy = EvictionPolicyKind::Lru;
+
+  /// Extension (the driver's uvm_perf_access_counters path, paper §VI-B):
+  /// when a Volta access-counter notification reports a hot *remote-mapped*
+  /// region, migrate it to GPU memory — promoting frequently-accessed
+  /// zero-copy data to local. Requires SimConfig::access_counters.enabled.
+  bool access_counter_migration = false;
+
+  /// GPU physical allocation granularity (stock: one 2 MB VABlock). The
+  /// flexible-granularity extension (§VI-B) allows 64 KB…2 MB; must divide
+  /// kVaBlockSize and be a multiple of kPageSize.
+  std::uint64_t alloc_granularity_bytes = kVaBlockSize;
+
+  /// Pages per allocation slice (derived).
+  [[nodiscard]] std::uint32_t pages_per_slice() const {
+    return static_cast<std::uint32_t>(alloc_granularity_bytes / kPageSize);
+  }
+  /// Slices per VABlock (derived).
+  [[nodiscard]] std::uint32_t slices_per_block() const {
+    return kPagesPerBlock / pages_per_slice();
+  }
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,40 @@
+#include "uvm/eviction_lru.h"
+
+namespace uvmsim {
+
+void LruEviction::on_slice_allocated(SliceKey k) {
+  auto it = pos_.find(k.packed());
+  if (it != pos_.end()) {
+    // Re-allocation of a tracked slice: treat as a touch.
+    promote(k);
+    return;
+  }
+  list_.push_front(k);
+  pos_.emplace(k.packed(), list_.begin());
+}
+
+void LruEviction::on_slice_touched(SliceKey k) { promote(k); }
+
+void LruEviction::promote(SliceKey k) {
+  auto it = pos_.find(k.packed());
+  if (it == pos_.end()) return;
+  list_.splice(list_.begin(), list_, it->second);
+}
+
+void LruEviction::on_slice_evicted(SliceKey k) {
+  auto it = pos_.find(k.packed());
+  if (it == pos_.end()) return;
+  list_.erase(it->second);
+  pos_.erase(it);
+}
+
+std::optional<SliceKey> LruEviction::pick_victim(
+    const std::function<bool(SliceKey)>& eligible) {
+  // Scan from the LRU end for the first eligible slice.
+  for (auto it = list_.rbegin(); it != list_.rend(); ++it) {
+    if (eligible(*it)) return *it;
+  }
+  return std::nullopt;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,42 @@
+// Stock fault-driven LRU eviction (paper §V-A1).
+//
+// The LRU list is updated ONLY when a fault from a slice is handled. This
+// deliberately reproduces the pathology the paper calls out in §VI-A: a
+// slice that becomes fully resident stops faulting, is never promoted again,
+// decays to the LRU tail, and gets evicted precisely because it was hot
+// enough to be fetched completely.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "uvm/eviction_policy.h"
+
+namespace uvmsim {
+
+class LruEviction : public EvictionPolicy {
+ public:
+  void on_slice_allocated(SliceKey k) override;
+  void on_slice_touched(SliceKey k) override;
+  void on_slice_evicted(SliceKey k) override;
+  std::optional<SliceKey> pick_victim(
+      const std::function<bool(SliceKey)>& eligible) override;
+
+  [[nodiscard]] const char* name() const override { return "lru"; }
+  [[nodiscard]] std::size_t tracked() const override { return pos_.size(); }
+
+  /// MRU-to-LRU snapshot (tests / analysis).
+  [[nodiscard]] std::vector<SliceKey> order() const {
+    return {list_.begin(), list_.end()};
+  }
+
+ protected:
+  /// Moves a tracked slice to the MRU position; no-op if untracked.
+  void promote(SliceKey k);
+
+ private:
+  std::list<SliceKey> list_;  ///< front = MRU, back = LRU
+  std::unordered_map<std::uint64_t, std::list<SliceKey>::iterator> pos_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,55 @@
+// Eviction-policy interface.
+//
+// The driver notifies the policy about slice lifecycle events (allocation,
+// fault-driven touches, eviction) and asks it for victims when the PMA is
+// exhausted. "Slice" is the allocation granularity: one 2 MB VABlock in the
+// stock configuration, smaller with the flexible-granularity extension.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "gpu/access_counters.h"
+#include "mem/constants.h"
+
+namespace uvmsim {
+
+/// Identifies one allocation slice of a VABlock.
+struct SliceKey {
+  VaBlockId block = 0;
+  std::uint32_t slice = 0;
+
+  bool operator==(const SliceKey&) const = default;
+  [[nodiscard]] std::uint64_t packed() const {
+    return block * kPagesPerBlock + slice;
+  }
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// A slice received GPU backing.
+  virtual void on_slice_allocated(SliceKey k) = 0;
+  /// A fault to this slice was serviced (the only residency signal the stock
+  /// LRU gets, paper §V-A1).
+  virtual void on_slice_touched(SliceKey k) = 0;
+  /// The slice was evicted and released.
+  virtual void on_slice_evicted(SliceKey k) = 0;
+
+  /// Picks a victim among tracked slices for which `eligible` returns true
+  /// (the driver excludes the faulting block and service-locked blocks).
+  /// Returns nullopt if no eligible victim exists.
+  virtual std::optional<SliceKey> pick_victim(
+      const std::function<bool(SliceKey)>& eligible) = 0;
+
+  /// Volta access-counter notification (ignored by the stock LRU).
+  virtual void on_access_notification(const AccessCounterNotification&) {}
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Number of slices currently tracked.
+  [[nodiscard]] virtual std::size_t tracked() const = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,70 @@
+#include "uvm/fault_batch.h"
+
+#include <algorithm>
+#include <map>
+
+namespace uvmsim {
+
+FaultBatch Preprocessor::fetch(FaultBuffer& fb, std::uint32_t batch_size,
+                               const CostModel& cm, SimTime& t,
+                               FetchPolicy policy,
+                               LogHistogram* queue_latency) {
+  FaultBatch batch;
+  std::vector<FaultEntry> entries;
+  entries.reserve(std::min<std::size_t>(batch_size, fb.size()));
+
+  while (entries.size() < batch_size) {
+    const FaultEntry* head = fb.peek();
+    if (head == nullptr) break;
+    if (head->ready_at > t) {
+      if (policy == FetchPolicy::StopAtNotReady && !entries.empty()) {
+        break;  // close the batch early; the laggard waits for the next pass
+      }
+      // Poll the ready flag until the entry lands.
+      std::uint32_t polls = static_cast<std::uint32_t>(
+          (head->ready_at - t + cm.poll_retry - 1) / cm.poll_retry);
+      polls = std::max<std::uint32_t>(polls, 1);
+      batch.polls += polls;
+      t += static_cast<SimDuration>(polls) * cm.poll_retry;
+    }
+    entries.push_back(*fb.pop());
+    if (queue_latency != nullptr && t >= entries.back().raised_at) {
+      queue_latency->add(t - entries.back().raised_at);
+    }
+    t += cm.fetch_per_fault;
+  }
+  batch.fetched = static_cast<std::uint32_t>(entries.size());
+  if (entries.empty()) return batch;
+
+  // Sort by faulting page, then bin per VABlock, deduplicating same-page
+  // entries (parallel SMs frequently fault on the same page).
+  t += static_cast<SimDuration>(entries.size()) *
+       (cm.sort_per_fault + cm.bin_per_fault);
+  std::sort(entries.begin(), entries.end(),
+            [](const FaultEntry& a, const FaultEntry& b) {
+              return a.page < b.page;
+            });
+
+  std::map<VaBlockId, FaultBatch::Bin> bins;
+  VirtPage prev_page = ~VirtPage{0};
+  for (const FaultEntry& e : entries) {
+    FaultBatch::Bin& bin = bins[e.block];
+    bin.block = e.block;
+    ++bin.fault_entries;
+    if (e.page == prev_page) {
+      ++batch.duplicates;
+      t += cm.dedup_per_fault;
+      continue;
+    }
+    prev_page = e.page;
+    bin.faulted.set(page_in_block(e.page));
+    if (e.access == FaultAccessType::Write) {
+      bin.strongest_access = FaultAccessType::Write;
+    }
+  }
+  batch.bins.reserve(bins.size());
+  for (auto& [id, bin] : bins) batch.bins.push_back(std::move(bin));
+  return batch;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,54 @@
+// Fault-batch pre-processing (paper §III-C).
+//
+// The driver reads fault pointers from the GPU's circular queue, polls
+// entries whose ready flag lags, caches them host-side, sorts them, and bins
+// them by VABlock — the step that enables coalesced service. Fetching stops
+// when the queue is empty or the batch is full (default 256).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/fault.h"
+#include "gpu/fault_buffer.h"
+#include "mem/page_mask.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "uvm/cost_model.h"
+#include "uvm/driver_config.h"
+
+namespace uvmsim {
+
+struct FaultBatch {
+  /// Faults for one VABlock.
+  struct Bin {
+    VaBlockId block = 0;
+    PageMask faulted;              ///< unique faulted pages (in-block index)
+    std::uint32_t fault_entries = 0;  ///< raw entries binned here (with dups)
+    FaultAccessType strongest_access = FaultAccessType::Read;
+  };
+
+  std::vector<Bin> bins;  ///< sorted by ascending block id
+  std::uint32_t fetched = 0;
+  std::uint32_t duplicates = 0;  ///< same-page entries within the batch
+  std::uint32_t polls = 0;       ///< not-ready poll iterations performed
+
+  [[nodiscard]] bool empty() const { return fetched == 0; }
+};
+
+class Preprocessor {
+ public:
+  /// Fetches and bins one batch from `fb`, advancing the driver time cursor
+  /// `t` per the cost model. With FetchPolicy::StopAtNotReady the batch
+  /// closes early at the first entry whose ready flag lags; with PollReady
+  /// (default) the driver spins until the entry lands. The caller charges
+  /// the elapsed time to the PreProcess category. If `queue_latency` is
+  /// non-null, each fetched entry's buffer-residence time (fetch cursor
+  /// minus raise time) is recorded there.
+  static FaultBatch fetch(FaultBuffer& fb, std::uint32_t batch_size,
+                          const CostModel& cm, SimTime& t,
+                          FetchPolicy policy = FetchPolicy::PollReady,
+                          LogHistogram* queue_latency = nullptr);
+};
+
+}  // namespace uvmsim

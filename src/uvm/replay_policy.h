@@ -1,0 +1,14 @@
+// Replay-policy helpers. The policy semantics themselves are executed by the
+// driver loop (uvm/driver.cpp); this header provides names and descriptions.
+#pragma once
+
+#include "uvm/driver_config.h"
+
+namespace uvmsim {
+
+/// One-line description of a policy's replay condition (paper §III-E).
+[[nodiscard]] const char* describe(ReplayPolicyKind k);
+
+[[nodiscard]] const char* to_string(EvictionPolicyKind k);
+
+}  // namespace uvmsim

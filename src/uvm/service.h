@@ -1,0 +1,24 @@
+// Small pure helpers shared by the fault-service and eviction paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/page_mask.h"
+
+namespace uvmsim {
+
+/// Converts contiguous page runs to per-run byte sizes (one DMA op each).
+[[nodiscard]] std::vector<std::uint64_t> runs_to_bytes(
+    const std::vector<PageMask::Run>& runs);
+
+/// Mask covering allocation slice `slice` (clamped to `num_pages`).
+[[nodiscard]] PageMask slice_mask(std::uint32_t slice,
+                                  std::uint32_t pages_per_slice,
+                                  std::uint32_t num_pages);
+
+/// Ascending indices of the slices touched by any set page in `mask`.
+[[nodiscard]] std::vector<std::uint32_t> touched_slices(
+    const PageMask& mask, std::uint32_t pages_per_slice);
+
+}  // namespace uvmsim

@@ -1,0 +1,40 @@
+#include "uvm/thrashing_detector.h"
+
+namespace uvmsim {
+
+void ThrashingDetector::on_eviction(VaBlockId block, SimTime now) {
+  if (!cfg_.enabled) return;
+  BlockState& s = state_[block];
+  s.last_eviction = now;
+  s.evicted_once = true;
+}
+
+ThrashingDetector::Advice ThrashingDetector::on_fault(VaBlockId block,
+                                                      SimTime now) {
+  if (!cfg_.enabled) return Advice::Migrate;
+  auto it = state_.find(block);
+  if (it == state_.end()) return Advice::Migrate;
+  BlockState& s = it->second;
+
+  // Expire stale mitigation/score when the block has been quiet.
+  if (s.last_event != 0 && now - s.last_event > cfg_.decay) {
+    s.score = 0;
+    s.mitigating = false;
+  }
+
+  if (s.evicted_once && now - s.last_eviction <= cfg_.window) {
+    ++events_;
+    s.last_event = now;
+    if (++s.score >= cfg_.threshold && !s.mitigating &&
+        cfg_.mitigation != ThrashMitigation::None) {
+      s.mitigating = true;
+      ++mitigated_;
+    }
+  }
+
+  if (!s.mitigating) return Advice::Migrate;
+  return cfg_.mitigation == ThrashMitigation::Pin ? Advice::Pin
+                                                  : Advice::Throttle;
+}
+
+}  // namespace uvmsim

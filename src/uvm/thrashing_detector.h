@@ -1,0 +1,78 @@
+// Thrashing detection and mitigation.
+//
+// The paper's Fig. 8 worst case — data evicted immediately before being
+// re-faulted — is a memory thrash cycle: migrate in, evict, fault again.
+// NVIDIA's driver ships a perf module (uvm_perf_thrashing) that detects
+// such cycles and mitigates them by *pinning* the thrashing pages where
+// they are (serving the GPU through remote mappings instead of bouncing the
+// data) or by *throttling* the faulting processor. This class implements
+// that detector for the simulator; the driver consults it on every fault
+// service and reports every eviction to it.
+//
+// Detection: a fault hitting a VABlock within `window` of that block's last
+// eviction is a thrash event; `threshold` events arm mitigation for the
+// block.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/constants.h"
+#include "sim/time.h"
+
+namespace uvmsim {
+
+enum class ThrashMitigation : std::uint8_t {
+  None,      ///< detect only (counters)
+  Pin,       ///< stop migrating: remote-map the thrashing block's faults
+  Throttle,  ///< keep migrating but delay service of the thrashing block
+};
+
+class ThrashingDetector {
+ public:
+  struct Config {
+    bool enabled = false;
+    /// Re-fault within this span of the block's last eviction = thrash.
+    SimDuration window = 500 * kMicrosecond;
+    /// Thrash events required to arm mitigation for a block.
+    std::uint32_t threshold = 3;
+    ThrashMitigation mitigation = ThrashMitigation::Pin;
+    /// Service delay applied per batch to a throttled block.
+    SimDuration throttle_delay = 50 * kMicrosecond;
+    /// Pins/throttles expire after this long without further thrash
+    /// events (lets access phases change).
+    SimDuration decay = 10 * kMillisecond;
+  };
+
+  /// What the driver should do with a faulted block.
+  enum class Advice : std::uint8_t { Migrate, Pin, Throttle };
+
+  explicit ThrashingDetector(const Config& cfg) : cfg_(cfg) {}
+
+  /// Reports an eviction of (part of) `block`.
+  void on_eviction(VaBlockId block, SimTime now);
+
+  /// Classifies a fault service on `block`, updating detection state.
+  Advice on_fault(VaBlockId block, SimTime now);
+
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+  [[nodiscard]] std::uint64_t thrash_events() const { return events_; }
+  [[nodiscard]] std::uint64_t blocks_mitigated() const { return mitigated_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  struct BlockState {
+    SimTime last_eviction = 0;
+    bool evicted_once = false;
+    std::uint32_t score = 0;       ///< thrash events seen
+    SimTime last_event = 0;
+    bool mitigating = false;
+  };
+
+  Config cfg_;
+  std::unordered_map<VaBlockId, BlockState> state_;
+  std::uint64_t events_ = 0;
+  std::uint64_t mitigated_ = 0;
+};
+
+}  // namespace uvmsim

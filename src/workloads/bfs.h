@@ -1,0 +1,36 @@
+// Graph BFS access pattern (EMOGI-style out-of-memory graph traversal,
+// cited by the paper as [13]).
+//
+// A synthetic power-law graph in CSR form: a small frontier/visited state,
+// a row-pointer array, and a large edge array. Each BFS level reads the
+// frontier vertices' adjacency lists — contiguous CSR segments at
+// effectively random offsets within the edge array — the access class that
+// motivates zero-copy designs like EMOGI when the edge list exceeds GPU
+// memory. Not part of the paper's Table I suite; used by the extension
+// ablations.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+class BfsWorkload final : public Workload {
+ public:
+  /// `edge_bytes` for the edge array; vertex count derives from the average
+  /// degree. `levels` BFS iterations are launched.
+  explicit BfsWorkload(std::uint64_t edge_bytes, std::uint32_t levels = 4,
+                       std::uint32_t avg_degree = 16,
+                       std::uint32_t compute_ns = 700);
+
+  [[nodiscard]] std::string name() const override { return "bfs"; }
+  [[nodiscard]] std::uint64_t total_bytes() const override;
+  void setup(Simulator& sim) override;
+
+ private:
+  std::uint64_t edge_bytes_;
+  std::uint32_t levels_;
+  std::uint32_t avg_degree_;
+  std::uint32_t compute_ns_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,40 @@
+// cuSPARSE-style dense-to-sparse conversion + SpMM (paper §III-B, [25]):
+// kernel 1 scans the dense matrix and emits CSR arrays (regular sweep);
+// kernel 2 multiplies the sparse matrix by a dense B, whose row accesses
+// follow the random column structure of the sparse matrix — the mixed
+// regular/random pattern the paper shows for cusparse in Fig. 7.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+class CusparseSpmm final : public Workload {
+ public:
+  /// `n` x `n` dense float matrix with `density` (0,1] nonzeros; SpMM
+  /// against a dense n x k B into n x k C.
+  explicit CusparseSpmm(std::uint64_t n, double density = 0.02,
+                        std::uint64_t k = 64, std::uint32_t compute_ns = 800);
+
+  /// The n whose total footprint best fits `target_bytes`.
+  static std::uint64_t n_for_bytes(std::uint64_t target_bytes,
+                                   double density = 0.02,
+                                   std::uint64_t k = 64);
+
+  [[nodiscard]] std::string name() const override { return "cusparse"; }
+  [[nodiscard]] std::uint64_t total_bytes() const override;
+  void setup(Simulator& sim) override;
+
+ private:
+  [[nodiscard]] std::uint64_t nnz() const {
+    auto v = static_cast<std::uint64_t>(static_cast<double>(n_ * n_) * density_);
+    return std::max<std::uint64_t>(v, n_);
+  }
+
+  std::uint64_t n_;
+  double density_;
+  std::uint64_t k_;
+  std::uint32_t compute_ns_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,34 @@
+// cuFFT-style forward + inverse FFT access pattern (paper §III-B): a batched
+// complex transform sweeps the signal in log-strided butterfly passes, so the
+// first pass faults the whole buffer and later passes hit (the paper's cufft
+// has the fewest total faults of the suite relative to its footprint), with
+// banded stride structure visible in Fig. 7.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+class FftWorkload final : public Workload {
+ public:
+  /// One complex-float signal of `bytes`. `passes_per_direction` butterfly
+  /// kernels are launched forward (large->small stride) and the same number
+  /// inverse (small->large).
+  explicit FftWorkload(std::uint64_t bytes,
+                       std::uint32_t passes_per_direction = 4,
+                       std::uint32_t compute_ns = 800);
+
+  [[nodiscard]] std::string name() const override { return "cufft"; }
+  [[nodiscard]] std::uint64_t total_bytes() const override { return bytes_; }
+  void setup(Simulator& sim) override;
+
+ private:
+  void launch_pass(Simulator& sim, const VaRange& r, std::uint64_t stride,
+                   const char* dir);
+
+  std::uint64_t bytes_;
+  std::uint32_t passes_;
+  std::uint32_t compute_ns_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,25 @@
+// "Random access" synthetic page-touch kernel (paper §III-C): each thread
+// touches a single, random, unique page of the buffer, so a warp's one
+// coalesced instruction touches 32 scattered pages — the driver-side
+// worst case for VABlock coalescing, prefetching, and (under
+// oversubscription) allocation-granularity thrash.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+class RandomTouch final : public Workload {
+ public:
+  explicit RandomTouch(std::uint64_t bytes, std::uint32_t compute_ns = 500);
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] std::uint64_t total_bytes() const override { return bytes_; }
+  void setup(Simulator& sim) override;
+
+ private:
+  std::uint64_t bytes_;
+  std::uint32_t compute_ns_;
+};
+
+}  // namespace uvmsim

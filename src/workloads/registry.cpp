@@ -1,0 +1,62 @@
+#include "workloads/registry.h"
+
+#include <stdexcept>
+
+#include "workloads/bfs.h"
+#include "workloads/cusparse_spmm.h"
+#include "workloads/fft.h"
+#include "workloads/hpgmg.h"
+#include "workloads/random_access.h"
+#include "workloads/regular.h"
+#include "workloads/sgemm.h"
+#include "workloads/stream_triad.h"
+#include "workloads/tealeaf.h"
+
+namespace uvmsim {
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> kNames = {
+      "regular", "random", "sgemm",    "stream",
+      "cufft",   "tealeaf", "hpgmg", "cusparse"};
+  return kNames;
+}
+
+std::unique_ptr<Workload> make_workload(std::string_view name,
+                                        std::uint64_t target_bytes) {
+  if (name == "regular") {
+    return std::make_unique<RegularTouch>(target_bytes);
+  }
+  if (name == "random") {
+    return std::make_unique<RandomTouch>(target_bytes);
+  }
+  if (name == "sgemm") {
+    return std::make_unique<SgemmWorkload>(
+        SgemmWorkload::n_for_bytes(target_bytes));
+  }
+  if (name == "stream") {
+    return std::make_unique<StreamTriad>(target_bytes / 3);
+  }
+  if (name == "cufft") {
+    // bit_ceil rounding in the workload can double the footprint; aim low.
+    return std::make_unique<FftWorkload>(target_bytes / 2 + 1);
+  }
+  if (name == "tealeaf") {
+    return std::make_unique<TeaLeafWorkload>(
+        TeaLeafWorkload::n_for_bytes(target_bytes));
+  }
+  if (name == "hpgmg") {
+    return std::make_unique<HpgmgWorkload>(
+        HpgmgWorkload::finest_for_bytes(target_bytes));
+  }
+  if (name == "cusparse") {
+    return std::make_unique<CusparseSpmm>(
+        CusparseSpmm::n_for_bytes(target_bytes));
+  }
+  if (name == "bfs") {
+    // Edge array dominates; aim the whole footprint at the target.
+    return std::make_unique<BfsWorkload>(target_bytes * 4 / 5);
+  }
+  throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+}  // namespace uvmsim

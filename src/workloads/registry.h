@@ -1,0 +1,23 @@
+// Name-based workload factory so benches and examples can sweep the whole
+// suite uniformly: each workload maps a target managed-footprint in bytes to
+// its own natural parameters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+/// The paper's benchmark suite (§III-B), in Table I order.
+[[nodiscard]] const std::vector<std::string>& workload_names();
+
+/// Creates the named workload sized as close as possible to `target_bytes`
+/// of total managed memory. Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Workload> make_workload(
+    std::string_view name, std::uint64_t target_bytes);
+
+}  // namespace uvmsim

@@ -1,0 +1,25 @@
+#include "workloads/regular.h"
+
+#include <algorithm>
+
+namespace uvmsim {
+
+RegularTouch::RegularTouch(std::uint64_t bytes, std::uint32_t compute_ns)
+    : bytes_(std::max<std::uint64_t>(bytes, kPageSize)),
+      compute_ns_(compute_ns) {}
+
+void RegularTouch::setup(Simulator& sim) {
+  RangeId rid = sim.malloc_managed(bytes_, "data");
+  const VaRange& r = sim.address_space().range(rid);
+
+  GridBuilder g("regular_touch");
+  for (std::uint64_t p0 = 0; p0 < r.num_pages; p0 += 32) {
+    auto count =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(32, r.num_pages - p0));
+    g.new_warp().add_run(r.first_page + p0, count, /*write=*/true,
+                         compute_ns_);
+  }
+  sim.launch(g.build(static_cast<double>(r.num_pages)));
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,24 @@
+// "Regular access" synthetic page-touch kernel (paper §III-C): each thread
+// touches exactly one page corresponding to its global thread ID, so a warp
+// touches 32 consecutive pages and access is regular within warps and
+// blocks.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+class RegularTouch final : public Workload {
+ public:
+  explicit RegularTouch(std::uint64_t bytes, std::uint32_t compute_ns = 500);
+
+  [[nodiscard]] std::string name() const override { return "regular"; }
+  [[nodiscard]] std::uint64_t total_bytes() const override { return bytes_; }
+  void setup(Simulator& sim) override;
+
+ private:
+  std::uint64_t bytes_;
+  std::uint32_t compute_ns_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,75 @@
+#include "workloads/sgemm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uvmsim {
+
+SgemmWorkload::SgemmWorkload(std::uint64_t n,
+                             std::uint32_t compute_ns_per_ktile)
+    : n_((std::max<std::uint64_t>(n, kTile) + kTile - 1) / kTile * kTile),
+      compute_ns_(compute_ns_per_ktile) {}
+
+std::uint64_t SgemmWorkload::n_for_bytes(std::uint64_t target_bytes) {
+  double n = std::sqrt(static_cast<double>(target_bytes) / 12.0);
+  return std::max<std::uint64_t>(
+      kTile, static_cast<std::uint64_t>(n / static_cast<double>(kTile)) * kTile);
+}
+
+void SgemmWorkload::setup(Simulator& sim) {
+  const std::uint64_t bytes = n_ * n_ * sizeof(float);
+  RangeId ra = sim.malloc_managed(bytes, "A");
+  RangeId rb = sim.malloc_managed(bytes, "B");
+  RangeId rc = sim.malloc_managed(bytes, "C");
+  const VaRange& a = sim.address_space().range(ra);
+  const VaRange& b = sim.address_space().range(rb);
+  const VaRange& c = sim.address_space().range(rc);
+
+  const std::uint64_t nt = n_ / kTile;        // tiles per dimension
+  const std::uint64_t rows_per_warp = kTile / 8;  // 8 warps per block
+
+  GridBuilder g("sgemm");
+  std::vector<VirtPage> pages;
+  for (std::uint64_t by = 0; by < nt; ++by) {
+    for (std::uint64_t bx = 0; bx < nt; ++bx) {
+      for (std::uint32_t w = 0; w < 8; ++w) {
+        AccessStream& s = g.new_warp();
+        const std::uint64_t r0 = w * rows_per_warp;
+        for (std::uint64_t kk = 0; kk < nt; ++kk) {
+          // A tile rows [by*T + r0, +rows_per_warp), cols [kk*T, +T).
+          pages.clear();
+          for (std::uint64_t r = 0; r < rows_per_warp; ++r) {
+            auto ps = pages_for_row_segment(a.first_page, n_, sizeof(float),
+                                            by * kTile + r0 + r, kk * kTile,
+                                            (kk + 1) * kTile);
+            pages.insert(pages.end(), ps.begin(), ps.end());
+          }
+          s.add(pages, /*write=*/false, compute_ns_);
+          // B tile rows [kk*T + r0, +rows_per_warp), cols [bx*T, +T).
+          pages.clear();
+          for (std::uint64_t r = 0; r < rows_per_warp; ++r) {
+            auto ps = pages_for_row_segment(b.first_page, n_, sizeof(float),
+                                            kk * kTile + r0 + r, bx * kTile,
+                                            (bx + 1) * kTile);
+            pages.insert(pages.end(), ps.begin(), ps.end());
+          }
+          s.add(pages, /*write=*/false, compute_ns_);
+        }
+        // C tile write, rows [by*T + r0, +rows_per_warp), cols [bx*T, +T).
+        pages.clear();
+        for (std::uint64_t r = 0; r < rows_per_warp; ++r) {
+          auto ps = pages_for_row_segment(c.first_page, n_, sizeof(float),
+                                          by * kTile + r0 + r, bx * kTile,
+                                          (bx + 1) * kTile);
+          pages.insert(pages.end(), ps.begin(), ps.end());
+        }
+        s.add(pages, /*write=*/true, 500);
+      }
+    }
+  }
+  double flops = 2.0 * static_cast<double>(n_) * static_cast<double>(n_) *
+                 static_cast<double>(n_);
+  sim.launch(g.build(flops));
+}
+
+}  // namespace uvmsim

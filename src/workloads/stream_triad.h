@@ -1,0 +1,32 @@
+// GPU-STREAM triad (paper §III-B, [21]): a[i] = b[i] + s*c[i] over three
+// equal vectors. The three-vector pattern enforces a page-access dependency
+// (b and c must arrive before a's write completes), which the paper notes
+// produces a much stricter fault-handling order than the plain regular
+// pattern (§IV-B).
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+class StreamTriad final : public Workload {
+ public:
+  /// `bytes_per_array` per vector; three vectors are allocated. `iterations`
+  /// repeats the triad kernel (STREAM reports best-of-N; we expose N).
+  explicit StreamTriad(std::uint64_t bytes_per_array,
+                       std::uint32_t iterations = 1,
+                       std::uint32_t compute_ns = 600);
+
+  [[nodiscard]] std::string name() const override { return "stream"; }
+  [[nodiscard]] std::uint64_t total_bytes() const override {
+    return 3 * bytes_per_array_;
+  }
+  void setup(Simulator& sim) override;
+
+ private:
+  std::uint64_t bytes_per_array_;
+  std::uint32_t iterations_;
+  std::uint32_t compute_ns_;
+};
+
+}  // namespace uvmsim

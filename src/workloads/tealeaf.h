@@ -1,0 +1,33 @@
+// TeaLeaf-style heat-conduction CG solver (paper §III-B, [22]): six
+// grid-sized vectors (u, p, r, w, Kx, Ky) swept by a 5-point stencil every
+// CG iteration. The interleaved multi-vector sweeps produce the banded
+// pattern of Fig. 7 and the comparatively low prefetcher fault coverage the
+// paper reports in Table I (67 %).
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+class TeaLeafWorkload final : public Workload {
+ public:
+  /// `n` grid points per side (doubles), `iterations` CG steps.
+  explicit TeaLeafWorkload(std::uint64_t n, std::uint32_t iterations = 4,
+                           std::uint32_t compute_ns = 1000);
+
+  /// Grid side whose 6 * n^2 double footprint best fits `target_bytes`.
+  static std::uint64_t n_for_bytes(std::uint64_t target_bytes);
+
+  [[nodiscard]] std::string name() const override { return "tealeaf"; }
+  [[nodiscard]] std::uint64_t total_bytes() const override {
+    return 6 * n_ * n_ * sizeof(double);
+  }
+  void setup(Simulator& sim) override;
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t iterations_;
+  std::uint32_t compute_ns_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,202 @@
+#include "workloads/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace uvmsim {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const TraceData& trace) {
+  os << "uvmsim-trace v1\n";
+  for (const auto& r : trace.ranges) {
+    os << "range " << r.name << ' ' << r.bytes << ' '
+       << (r.host_populated ? 1 : 0) << '\n';
+  }
+  for (const auto& k : trace.kernels) {
+    os << "kernel " << k.name << ' ' << k.work_units << '\n';
+    for (const auto& warp : k.warps) {
+      os << "warp\n";
+      for (const auto& a : warp) {
+        os << "a " << (a.write ? 1 : 0) << ' ' << a.compute_ns;
+        for (const auto& [range, page] : a.pages) {
+          os << ' ' << range << ':' << page;
+        }
+        os << '\n';
+      }
+    }
+  }
+  if (!os) throw std::runtime_error("trace write failed");
+}
+
+TraceData parse_trace(std::istream& is) {
+  TraceData trace;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+
+    if (!header_seen) {
+      if (tok != "uvmsim-trace") parse_fail(line_no, "missing header");
+      std::string version;
+      ls >> version;
+      if (version != "v1") parse_fail(line_no, "unsupported version");
+      header_seen = true;
+      continue;
+    }
+
+    if (tok == "range") {
+      TraceData::Range r;
+      int populated = 1;
+      if (!(ls >> r.name >> r.bytes >> populated)) {
+        parse_fail(line_no, "bad range declaration");
+      }
+      if (r.bytes == 0) parse_fail(line_no, "zero-byte range");
+      r.host_populated = populated != 0;
+      trace.ranges.push_back(std::move(r));
+    } else if (tok == "kernel") {
+      TraceData::Kernel k;
+      if (!(ls >> k.name >> k.work_units)) {
+        parse_fail(line_no, "bad kernel declaration");
+      }
+      trace.kernels.push_back(std::move(k));
+    } else if (tok == "warp") {
+      if (trace.kernels.empty()) parse_fail(line_no, "warp before kernel");
+      trace.kernels.back().warps.emplace_back();
+    } else if (tok == "a") {
+      if (trace.kernels.empty() || trace.kernels.back().warps.empty()) {
+        parse_fail(line_no, "access before warp");
+      }
+      TraceData::Access a;
+      int write = 0;
+      if (!(ls >> write >> a.compute_ns)) {
+        parse_fail(line_no, "bad access header");
+      }
+      a.write = write != 0;
+      std::string ref;
+      while (ls >> ref) {
+        auto colon = ref.find(':');
+        if (colon == std::string::npos) {
+          parse_fail(line_no, "bad page ref: " + ref);
+        }
+        std::uint32_t range_idx = 0;
+        std::uint64_t page = 0;
+        try {
+          range_idx =
+              static_cast<std::uint32_t>(std::stoul(ref.substr(0, colon)));
+          page = std::stoull(ref.substr(colon + 1));
+        } catch (const std::exception&) {
+          parse_fail(line_no, "bad page ref: " + ref);
+        }
+        if (range_idx >= trace.ranges.size()) {
+          parse_fail(line_no, "range index out of bounds");
+        }
+        std::uint64_t range_pages =
+            (trace.ranges[range_idx].bytes + kPageSize - 1) / kPageSize;
+        if (page >= range_pages) {
+          parse_fail(line_no, "page offset past end of range");
+        }
+        a.pages.emplace_back(range_idx, page);
+      }
+      if (a.pages.empty()) parse_fail(line_no, "access with no pages");
+      trace.kernels.back().warps.back().push_back(std::move(a));
+    } else {
+      parse_fail(line_no, "unknown directive: " + tok);
+    }
+  }
+  if (!header_seen) throw std::runtime_error("trace parse error: empty input");
+  return trace;
+}
+
+TraceData capture_trace(Workload& workload, const SimConfig& cfg) {
+  Simulator sim(cfg);
+  workload.setup(sim);
+
+  const AddressSpace& as = sim.address_space();
+  TraceData trace;
+  trace.ranges.reserve(as.num_ranges());
+  for (const auto& r : as.ranges()) {
+    // host_populated is recoverable from the initial residency state.
+    bool populated = as.block(r.first_block).ever_populated.any();
+    trace.ranges.push_back(TraceData::Range{r.name, r.bytes, populated});
+  }
+
+  for (const KernelSpec* spec : sim.queued_kernels()) {
+    TraceData::Kernel k;
+    k.name = spec->name;
+    k.work_units = spec->work_units;
+    for (const auto& blk : spec->blocks) {
+      for (const auto& stream : blk.warps) {
+        std::vector<TraceData::Access> warp;
+        warp.reserve(stream.size());
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+          const AccessRecord& rec = stream.record(i);
+          TraceData::Access a;
+          a.write = rec.write;
+          a.compute_ns = rec.compute_ns;
+          for (VirtPage p : stream.pages(i)) {
+            RangeId rid = as.range_of(p);
+            if (rid == kInvalidRange) {
+              throw std::logic_error("capture_trace: access outside ranges");
+            }
+            a.pages.emplace_back(rid, p - as.range(rid).first_page);
+          }
+          warp.push_back(std::move(a));
+        }
+        k.warps.push_back(std::move(warp));
+      }
+    }
+    trace.kernels.push_back(std::move(k));
+  }
+  return trace;
+}
+
+TraceWorkload::TraceWorkload(TraceData trace, std::string name)
+    : trace_(std::move(trace)), name_(std::move(name)) {
+  if (trace_.ranges.empty()) {
+    throw std::invalid_argument("TraceWorkload: trace has no ranges");
+  }
+}
+
+void TraceWorkload::setup(Simulator& sim) {
+  std::vector<VirtPage> first_pages;
+  first_pages.reserve(trace_.ranges.size());
+  for (const auto& r : trace_.ranges) {
+    RangeId id = sim.malloc_managed(r.bytes, r.name, r.host_populated);
+    first_pages.push_back(sim.address_space().range(id).first_page);
+  }
+
+  std::vector<VirtPage> pages;
+  for (const auto& k : trace_.kernels) {
+    GridBuilder g(k.name);
+    for (const auto& warp : k.warps) {
+      AccessStream& s = g.new_warp();
+      for (const auto& a : warp) {
+        pages.clear();
+        pages.reserve(a.pages.size());
+        for (const auto& [range_idx, page] : a.pages) {
+          pages.push_back(first_pages[range_idx] + page);
+        }
+        s.add(pages, a.write, a.compute_ns);
+      }
+    }
+    if (g.warp_count() > 0) sim.launch(g.build(k.work_units));
+  }
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,90 @@
+// Access-trace capture and replay.
+//
+// A trace is a portable text serialization of a workload: its managed
+// ranges and every kernel's per-warp access records, with pages expressed
+// as (range index, page offset) so the trace is independent of address-
+// space layout. Downstream users can
+//   * capture a trace from any Workload (or hand-write one from an
+//     application's instrumentation), and
+//   * replay it as a first-class Workload under any simulator config.
+//
+// Format (line-oriented, '#' comments):
+//   uvmsim-trace v1
+//   range <name> <bytes> <host_populated:0|1>
+//   kernel <name> <work_units>
+//   warp
+//   a <write:0|1> <compute_ns> <range:page> [<range:page> ...]
+//
+// "a" lines belong to the most recent "warp"; warps to the most recent
+// "kernel". Warps are grouped into 8-warp thread blocks on replay.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+struct TraceData {
+  struct Range {
+    std::string name;
+    std::uint64_t bytes = 0;
+    bool host_populated = true;
+  };
+  struct Access {
+    bool write = false;
+    std::uint32_t compute_ns = 0;
+    /// (range index, page offset within range)
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> pages;
+  };
+  struct Kernel {
+    std::string name;
+    double work_units = 0.0;
+    std::vector<std::vector<Access>> warps;
+  };
+
+  std::vector<Range> ranges;
+  std::vector<Kernel> kernels;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& r : ranges) n += r.bytes;
+    return n;
+  }
+};
+
+/// Serializes a trace. Throws on stream failure.
+void write_trace(std::ostream& os, const TraceData& trace);
+
+/// Parses a trace. Throws std::runtime_error with a line number on malformed
+/// input.
+[[nodiscard]] TraceData parse_trace(std::istream& is);
+
+/// Captures a workload's trace by setting it up on a scratch simulator
+/// (using `cfg` for any config-dependent generation) and converting its
+/// queued kernels back to range-relative form.
+[[nodiscard]] TraceData capture_trace(Workload& workload,
+                                      const SimConfig& cfg);
+
+/// Replays a parsed trace as a Workload.
+class TraceWorkload final : public Workload {
+ public:
+  explicit TraceWorkload(TraceData trace, std::string name = "trace");
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::uint64_t total_bytes() const override {
+    return trace_.total_bytes();
+  }
+  void setup(Simulator& sim) override;
+
+  [[nodiscard]] const TraceData& trace() const { return trace_; }
+
+ private:
+  TraceData trace_;
+  std::string name_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,59 @@
+#include "gpu/access.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace uvmsim {
+namespace {
+
+TEST(AccessStream, AddRunStoresContiguousPages) {
+  AccessStream s;
+  s.add_run(100, 4, true, 500);
+  ASSERT_EQ(s.size(), 1u);
+  auto pages = s.pages(0);
+  ASSERT_EQ(pages.size(), 4u);
+  EXPECT_EQ(pages[0], 100u);
+  EXPECT_EQ(pages[3], 103u);
+  EXPECT_TRUE(s.record(0).write);
+  EXPECT_EQ(s.record(0).compute_ns, 500u);
+}
+
+TEST(AccessStream, AddDedupsPreservingLaneOrder) {
+  AccessStream s;
+  std::array<VirtPage, 5> pages = {9, 3, 9, 1, 3};
+  s.add(pages, false, 0);
+  auto got = s.pages(0);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 9u);  // first-occurrence order, as hardware lanes issue
+  EXPECT_EQ(got[1], 3u);
+  EXPECT_EQ(got[2], 1u);
+}
+
+TEST(AccessStream, MultipleRecordsIndependent) {
+  AccessStream s;
+  s.add_run(0, 2, false, 10);
+  s.add_run(100, 3, true, 20);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.pages(0).size(), 2u);
+  EXPECT_EQ(s.pages(1).size(), 3u);
+  EXPECT_EQ(s.pages(1)[0], 100u);
+  EXPECT_EQ(s.total_page_touches(), 5u);
+}
+
+TEST(AccessStream, EmptyAccessThrows) {
+  AccessStream s;
+  EXPECT_THROW(s.add({}, false, 0), std::invalid_argument);
+  EXPECT_THROW(s.add_run(0, 0, false, 0), std::invalid_argument);
+}
+
+TEST(KernelSpec, TotalWarps) {
+  KernelSpec k;
+  k.blocks.resize(3);
+  k.blocks[0].warps.resize(2);
+  k.blocks[1].warps.resize(4);
+  EXPECT_EQ(k.total_warps(), 6u);
+}
+
+}  // namespace
+}  // namespace uvmsim

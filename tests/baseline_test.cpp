@@ -1,0 +1,65 @@
+#include "baseline/explicit_transfer.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/regular.h"
+#include "workloads/registry.h"
+
+namespace uvmsim {
+namespace {
+
+SimConfig cfg() {
+  SimConfig c;
+  c.set_gpu_memory(64ull << 20);
+  return c;
+}
+
+TEST(ExplicitTransfer, NoFaultsNoDriver) {
+  RegularTouch wl(8ull << 20);
+  ExplicitResult r = ExplicitTransfer::run(cfg(), wl);
+  EXPECT_EQ(r.run.counters.faults_fetched, 0u);
+  EXPECT_EQ(r.run.counters.passes, 0u);
+  EXPECT_EQ(r.run.kernels[0].faults_raised, 0u);
+}
+
+TEST(ExplicitTransfer, CopiesWholeFootprintOnce) {
+  RegularTouch wl(8ull << 20);
+  ExplicitResult r = ExplicitTransfer::run(cfg(), wl);
+  EXPECT_EQ(r.bytes_copied, 8ull << 20);
+  EXPECT_GT(r.h2d_time, 0u);
+  EXPECT_EQ(r.total, r.h2d_time + r.kernel_time);
+}
+
+TEST(ExplicitTransfer, FasterThanUvmForPageTouch) {
+  // Paper Fig. 1: UVM access costs one or more orders of magnitude more
+  // than direct transfer without prefetching; with prefetching it is still
+  // several times slower.
+  RegularTouch wl(16ull << 20);
+  ExplicitResult ex = ExplicitTransfer::run(cfg(), wl);
+
+  Simulator sim(cfg());
+  RegularTouch wl2(16ull << 20);
+  wl2.setup(sim);
+  RunResult uvm = sim.run();
+
+  EXPECT_GT(uvm.total_kernel_time(), ex.total);
+}
+
+TEST(ExplicitTransfer, TransferTimeScalesWithSize) {
+  RegularTouch small(4ull << 20), big(32ull << 20);
+  ExplicitResult rs = ExplicitTransfer::run(cfg(), small);
+  ExplicitResult rb = ExplicitTransfer::run(cfg(), big);
+  EXPECT_GT(rb.h2d_time, rs.h2d_time * 4);
+}
+
+TEST(ExplicitTransfer, WorksForAllWorkloads) {
+  for (const auto& name : workload_names()) {
+    auto wl = make_workload(name, 8ull << 20);
+    ExplicitResult r = ExplicitTransfer::run(cfg(), *wl);
+    EXPECT_EQ(r.run.counters.faults_fetched, 0u) << name;
+    EXPECT_GT(r.total, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

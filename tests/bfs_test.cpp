@@ -1,0 +1,102 @@
+#include "workloads/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "workloads/registry.h"
+
+namespace uvmsim {
+namespace {
+
+SimConfig cfg64() {
+  SimConfig cfg;
+  cfg.set_gpu_memory(64ull << 20);
+  cfg.enable_fault_log = false;
+  return cfg;
+}
+
+TEST(Bfs, CompletesUndersubscribed) {
+  Simulator sim(cfg64());
+  BfsWorkload wl(8ull << 20, /*levels=*/3);
+  wl.setup(sim);
+  RunResult r = sim.run();
+  EXPECT_EQ(r.kernels.size(), 3u);  // one kernel per level
+  EXPECT_GT(r.counters.faults_serviced, 0u);
+  EXPECT_EQ(r.counters.evictions, 0u);
+}
+
+TEST(Bfs, FrontierGrowsAcrossLevels) {
+  Simulator sim(cfg64());
+  BfsWorkload wl(8ull << 20, /*levels=*/3);
+  wl.setup(sim);
+  auto kernels = sim.queued_kernels();
+  ASSERT_EQ(kernels.size(), 3u);
+  EXPECT_GT(kernels[1]->total_warps(), kernels[0]->total_warps());
+  EXPECT_GT(kernels[2]->total_warps(), kernels[1]->total_warps());
+  sim.run();
+}
+
+TEST(Bfs, AllocatesGraphRanges) {
+  Simulator sim(cfg64());
+  BfsWorkload wl(8ull << 20);
+  wl.setup(sim);
+  ASSERT_EQ(sim.address_space().num_ranges(), 3u);
+  EXPECT_EQ(sim.address_space().range(0).name, "edges");
+  // The edge array dominates the footprint.
+  EXPECT_GT(sim.address_space().range(0).bytes,
+            sim.address_space().range(1).bytes);
+  sim.run();
+}
+
+TEST(Bfs, OversubscribedCompletesWithEvictions) {
+  SimConfig cfg = cfg64();
+  cfg.set_gpu_memory(16ull << 20);
+  Simulator sim(cfg);
+  BfsWorkload wl(20ull << 20, /*levels=*/3);
+  wl.setup(sim);
+  RunResult r = sim.run();
+  EXPECT_GT(r.counters.evictions, 0u);
+  EXPECT_LE(r.resident_pages_at_end * kPageSize, cfg.gpu_memory());
+}
+
+TEST(Bfs, RemoteMapSuitsSparseTraversal) {
+  // EMOGI's thesis: zero-copy beats paged migration for sparse traversal of
+  // an oversubscribed edge list.
+  auto run_mode = [](bool remote) {
+    SimConfig cfg;
+    cfg.set_gpu_memory(16ull << 20);
+    cfg.enable_fault_log = false;
+    Simulator sim(cfg);
+    BfsWorkload wl(20ull << 20, /*levels=*/2);
+    wl.setup(sim);
+    if (remote) {
+      MemAdvise a;
+      a.remote_map = true;
+      sim.mem_advise(0, a);  // the edge array
+    }
+    return sim.run().total_kernel_time();
+  };
+  EXPECT_LT(run_mode(true), run_mode(false));
+}
+
+TEST(Bfs, RegistryResolvesBfs) {
+  auto wl = make_workload("bfs", 8ull << 20);
+  EXPECT_EQ(wl->name(), "bfs");
+  double ratio = static_cast<double>(wl->total_bytes()) /
+                 static_cast<double>(8ull << 20);
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Bfs, Deterministic) {
+  auto run_once = [] {
+    Simulator sim(cfg64());
+    BfsWorkload wl(4ull << 20, 2);
+    wl.setup(sim);
+    return sim.run();
+  };
+  EXPECT_EQ(run_once().end_time, run_once().end_time);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,120 @@
+// End-to-end tests of the uvmsim_cli binary (path injected by CMake as
+// UVMSIM_CLI_PATH): argument handling, report output, trace round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CmdResult run_cli(const std::string& args) {
+  std::string cmd = std::string(UVMSIM_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  CmdResult res;
+  if (pipe == nullptr) return res;
+  char buf[4096];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) res.output += buf;
+  int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+TEST(Cli, HelpExitsCleanly) {
+  CmdResult r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--workload"), std::string::npos);
+  EXPECT_NE(r.output.find("--replay-trace"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionFails) {
+  CmdResult r = run_cli("--frobnicate");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, MissingValueFails) {
+  CmdResult r = run_cli("--workload");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("missing value"), std::string::npos);
+}
+
+TEST(Cli, BadWorkloadFails) {
+  CmdResult r = run_cli("--workload nope --size-mib 4");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown workload"), std::string::npos);
+}
+
+TEST(Cli, BadEnumValuesFail) {
+  EXPECT_NE(run_cli("--prefetch sideways").exit_code, 0);
+  EXPECT_NE(run_cli("--policy yolo").exit_code, 0);
+  EXPECT_NE(run_cli("--eviction fifo").exit_code, 0);
+  EXPECT_NE(run_cli("--thrash maybe").exit_code, 0);
+}
+
+TEST(Cli, BasicRunPrintsReport) {
+  CmdResult r = run_cli("--workload regular --size-mib 4 --gpu-mib 16");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("kernel_time"), std::string::npos);
+  EXPECT_NE(r.output.find("faults_serviced"), std::string::npos);
+  EXPECT_NE(r.output.find("migrate_pages"), std::string::npos);
+  EXPECT_NE(r.output.find("warp_stall"), std::string::npos);
+}
+
+TEST(Cli, CsvModeEmitsCsv) {
+  CmdResult r = run_cli("--workload regular --size-mib 4 --csv");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("csv,metric,value"), std::string::npos);
+}
+
+TEST(Cli, PatternModePrintsScatterAndTimeline) {
+  CmdResult r = run_cli("--workload stream --size-mib 6 --pattern");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("access pattern"), std::string::npos);
+  EXPECT_NE(r.output.find("activity over time"), std::string::npos);
+}
+
+TEST(Cli, BaselineComparison) {
+  CmdResult r = run_cli("--workload regular --size-mib 4 --baseline");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("explicit-transfer baseline"), std::string::npos);
+}
+
+TEST(Cli, TraceDumpAndReplayRoundTrip) {
+  std::string trace = std::string(::testing::TempDir()) + "/cli_test.trace";
+  CmdResult dump = run_cli("--workload stream --size-mib 6 --dump-trace " +
+                           trace);
+  ASSERT_EQ(dump.exit_code, 0) << dump.output;
+  std::ifstream f(trace);
+  ASSERT_TRUE(f.good());
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "uvmsim-trace v1");
+
+  CmdResult replay = run_cli("--replay-trace " + trace);
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_NE(replay.output.find("faults_serviced"), std::string::npos);
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, ReplayMissingTraceFails) {
+  CmdResult r = run_cli("--replay-trace /does/not/exist.trace");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, ConfigKnobsAccepted) {
+  CmdResult r = run_cli(
+      "--workload random --size-mib 6 --gpu-mib 16 --prefetch adaptive "
+      "--policy once --eviction access_counter --granularity-kib 256 "
+      "--batch-size 64 --thrash pin --seed 7");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace

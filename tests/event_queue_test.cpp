@@ -1,0 +1,156 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace uvmsim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZero) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ExecutesInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, EqualTimestampsRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  SimTime seen = 0;
+  q.schedule_at(100, [&] {
+    q.schedule_in(50, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.schedule_at(100, [&] {
+    EXPECT_THROW(q.schedule_at(50, [] {}), std::logic_error);
+  });
+  q.run();
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  q.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.executed_events(), 0u);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  EventHandle h = q.schedule_at(10, [] {});
+  q.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) q.schedule_in(10, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10u, 20u, 30u, 40u}) {
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  q.run_until(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(q.pending_events(), 2u);
+  q.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunUntilIncludesExactDeadline) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule_at(25, [&] { ran = true; });
+  q.run_until(25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, StepExecutesSingleEvent) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1, [&] { ++count; });
+  q.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, PendingEventsSkipsCancelled) {
+  EventQueue q;
+  auto h1 = q.schedule_at(1, [] {});
+  q.schedule_at(2, [] {});
+  h1.cancel();
+  EXPECT_EQ(q.pending_events(), 1u);
+}
+
+TEST(EventQueue, ExecutedEventsCounts) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule_at(static_cast<SimTime>(i), [] {});
+  q.run();
+  EXPECT_EQ(q.executed_events(), 7u);
+}
+
+TEST(EventQueue, ClockMonotoneAcrossCallbacks) {
+  EventQueue q;
+  SimTime last = 0;
+  bool monotone = true;
+  for (SimTime t : {5u, 1u, 9u, 3u, 7u}) {
+    q.schedule_at(t, [&] {
+      monotone = monotone && q.now() >= last;
+      last = q.now();
+    });
+  }
+  q.run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,151 @@
+#include "uvm/access_counter_eviction.h"
+#include "uvm/eviction_lru.h"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+auto any = [](SliceKey) { return true; };
+
+TEST(LruEviction, VictimIsLeastRecentlyAllocated) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});
+  lru.on_slice_allocated({2, 0});
+  lru.on_slice_allocated({3, 0});
+  auto v = lru.pick_victim(any);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->block, 1u);
+}
+
+TEST(LruEviction, TouchPromotes) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});
+  lru.on_slice_allocated({2, 0});
+  lru.on_slice_touched({1, 0});  // 1 becomes MRU
+  auto v = lru.pick_victim(any);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->block, 2u);
+}
+
+TEST(LruEviction, TouchOfUntrackedIsNoop) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});
+  lru.on_slice_touched({99, 0});
+  EXPECT_EQ(lru.tracked(), 1u);
+}
+
+TEST(LruEviction, EvictRemoves) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});
+  lru.on_slice_allocated({2, 0});
+  lru.on_slice_evicted({1, 0});
+  EXPECT_EQ(lru.tracked(), 1u);
+  auto v = lru.pick_victim(any);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->block, 2u);
+}
+
+TEST(LruEviction, EligibilityFilterSkips) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});
+  lru.on_slice_allocated({2, 0});
+  auto v = lru.pick_victim([](SliceKey k) { return k.block != 1; });
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->block, 2u);
+}
+
+TEST(LruEviction, NoEligibleVictim) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});
+  EXPECT_FALSE(lru.pick_victim([](SliceKey) { return false; }).has_value());
+}
+
+TEST(LruEviction, EmptyListNoVictim) {
+  LruEviction lru;
+  EXPECT_FALSE(lru.pick_victim(any).has_value());
+}
+
+TEST(LruEviction, SlicesOfSameBlockAreDistinct) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});
+  lru.on_slice_allocated({1, 1});
+  lru.on_slice_touched({1, 0});
+  auto v = lru.pick_victim(any);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->slice, 1u);
+}
+
+TEST(LruEviction, ReallocationActsAsTouch) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});
+  lru.on_slice_allocated({2, 0});
+  lru.on_slice_allocated({1, 0});  // re-alloc: promote, no duplicate
+  EXPECT_EQ(lru.tracked(), 2u);
+  auto v = lru.pick_victim(any);
+  EXPECT_EQ(v->block, 2u);
+}
+
+TEST(LruEviction, OrderSnapshot) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});
+  lru.on_slice_allocated({2, 0});
+  lru.on_slice_touched({1, 0});
+  auto order = lru.order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].block, 1u);  // MRU
+  EXPECT_EQ(order[1].block, 2u);  // LRU
+}
+
+// The paper's §VI-A pathology: fully-resident (hot) blocks never fault
+// again, so the stock LRU lets them sink to the tail.
+TEST(LruEviction, HotResidentDataDecaysWithoutFaults) {
+  LruEviction lru;
+  lru.on_slice_allocated({1, 0});  // hot block, fully resident, no faults
+  for (VaBlockId b = 2; b <= 5; ++b) {
+    lru.on_slice_allocated({b, 0});
+    lru.on_slice_touched({b, 0});
+  }
+  auto v = lru.pick_victim(any);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->block, 1u);  // the hot block is the victim
+}
+
+TEST(AccessCounterEviction, NotificationPromotes) {
+  AccessCounterEviction ac(/*pages_per_slice=*/kPagesPerBlock);
+  ac.on_slice_allocated({1, 0});
+  ac.on_slice_allocated({2, 0});
+  // Block 1 is hot: access counters report it even though it never faults.
+  AccessCounterNotification n;
+  n.block = 1;
+  n.big_page = 3;
+  ac.on_access_notification(n);
+  EXPECT_EQ(ac.promotions(), 1u);
+  auto v = ac.pick_victim(any);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->block, 2u);  // hot block survives
+}
+
+TEST(AccessCounterEviction, NotificationMapsBigPageToSlice) {
+  // 128-page slices: big page 20 (pages 320-335) lands in slice 2.
+  AccessCounterEviction ac(/*pages_per_slice=*/128);
+  ac.on_slice_allocated({1, 2});
+  ac.on_slice_allocated({1, 3});
+  AccessCounterNotification n;
+  n.block = 1;
+  n.big_page = 20;
+  ac.on_access_notification(n);
+  auto v = ac.pick_victim(any);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->slice, 3u);
+}
+
+TEST(AccessCounterEviction, Name) {
+  AccessCounterEviction ac(kPagesPerBlock);
+  EXPECT_STREQ(ac.name(), "access_counter");
+  LruEviction lru;
+  EXPECT_STREQ(lru.name(), "lru");
+}
+
+}  // namespace
+}  // namespace uvmsim

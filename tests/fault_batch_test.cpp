@@ -1,0 +1,135 @@
+#include "uvm/fault_batch.h"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+FaultBuffer::Config buf_cfg() {
+  FaultBuffer::Config c;
+  c.capacity = 1024;
+  c.ready_lag = 300;
+  return c;
+}
+
+FaultEntry entry(VirtPage p, FaultAccessType a = FaultAccessType::Read) {
+  FaultEntry e;
+  e.page = p;
+  e.block = block_of_page(p);
+  e.range = 0;
+  e.access = a;
+  return e;
+}
+
+class FaultBatchTest : public ::testing::Test {
+ protected:
+  FaultBatchTest() : fb_(buf_cfg()) {}
+  FaultBuffer fb_;
+  CostModel cm_;
+};
+
+TEST_F(FaultBatchTest, EmptyBufferEmptyBatch) {
+  SimTime t = 1000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(t, 1000u);  // no fetch cost for nothing
+}
+
+TEST_F(FaultBatchTest, FetchesUpToBatchSize) {
+  for (VirtPage p = 0; p < 300; ++p) fb_.push(entry(p), 0);
+  SimTime t = 10000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t);
+  EXPECT_EQ(b.fetched, 256u);
+  EXPECT_EQ(fb_.size(), 44u);
+}
+
+TEST_F(FaultBatchTest, FetchCostsAdvanceCursor) {
+  for (VirtPage p = 0; p < 10; ++p) fb_.push(entry(p), 0);
+  SimTime t = 10000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t);
+  EXPECT_EQ(b.fetched, 10u);
+  // 10 fetches + 10 * (sort + bin); entries were ready (pushed at t=0).
+  SimDuration expected = 10 * cm_.fetch_per_fault +
+                         10 * (cm_.sort_per_fault + cm_.bin_per_fault);
+  EXPECT_EQ(t, 10000u + expected);
+}
+
+TEST_F(FaultBatchTest, PollsNotReadyEntries) {
+  fb_.push(entry(1), 5000);  // ready at 5300
+  SimTime t = 5000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t);
+  EXPECT_EQ(b.fetched, 1u);
+  EXPECT_GE(b.polls, 1u);
+  EXPECT_GE(t, 5300u);  // waited for readiness
+}
+
+TEST_F(FaultBatchTest, BinsByBlockSorted) {
+  fb_.push(entry(kPagesPerBlock + 5), 0);  // block 1
+  fb_.push(entry(3), 0);                   // block 0
+  fb_.push(entry(kPagesPerBlock + 9), 0);  // block 1
+  SimTime t = 1000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t);
+  ASSERT_EQ(b.bins.size(), 2u);
+  EXPECT_EQ(b.bins[0].block, 0u);
+  EXPECT_EQ(b.bins[1].block, 1u);
+  EXPECT_TRUE(b.bins[0].faulted.test(3));
+  EXPECT_TRUE(b.bins[1].faulted.test(5));
+  EXPECT_TRUE(b.bins[1].faulted.test(9));
+  EXPECT_EQ(b.bins[1].fault_entries, 2u);
+}
+
+TEST_F(FaultBatchTest, DeduplicatesSamePage) {
+  fb_.push(entry(7), 0);
+  fb_.push(entry(7), 0);
+  fb_.push(entry(7), 0);
+  SimTime t = 1000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t);
+  EXPECT_EQ(b.fetched, 3u);
+  EXPECT_EQ(b.duplicates, 2u);
+  ASSERT_EQ(b.bins.size(), 1u);
+  EXPECT_EQ(b.bins[0].faulted.count(), 1u);
+  EXPECT_EQ(b.bins[0].fault_entries, 3u);
+}
+
+TEST_F(FaultBatchTest, WriteAccessDominates) {
+  fb_.push(entry(1, FaultAccessType::Read), 0);
+  fb_.push(entry(2, FaultAccessType::Write), 0);
+  SimTime t = 1000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t);
+  ASSERT_EQ(b.bins.size(), 1u);
+  EXPECT_EQ(b.bins[0].strongest_access, FaultAccessType::Write);
+}
+
+TEST_F(FaultBatchTest, StopAtNotReadyClosesBatchEarly) {
+  fb_.push(entry(1), 0);     // ready at 300
+  fb_.push(entry(2), 5000);  // ready at 5300
+  SimTime t = 1000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t,
+                               FetchPolicy::StopAtNotReady);
+  EXPECT_EQ(b.fetched, 1u);       // the laggard stays for the next pass
+  EXPECT_EQ(fb_.size(), 1u);
+  EXPECT_EQ(b.polls, 0u);
+  EXPECT_LT(t, 5000u);            // did not wait for the laggard
+}
+
+TEST_F(FaultBatchTest, StopAtNotReadyStillPollsLeadingLaggard) {
+  // An empty batch would make no progress: the first entry is polled even
+  // under StopAtNotReady.
+  fb_.push(entry(1), 5000);  // ready at 5300
+  SimTime t = 5000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t,
+                               FetchPolicy::StopAtNotReady);
+  EXPECT_EQ(b.fetched, 1u);
+  EXPECT_GE(t, 5300u);
+}
+
+TEST_F(FaultBatchTest, SmallBatchSizeRespected) {
+  for (VirtPage p = 0; p < 10; ++p) fb_.push(entry(p), 0);
+  SimTime t = 1000;
+  auto b = Preprocessor::fetch(fb_, 4, cm_, t);
+  EXPECT_EQ(b.fetched, 4u);
+  EXPECT_EQ(fb_.size(), 6u);
+}
+
+}  // namespace
+}  // namespace uvmsim

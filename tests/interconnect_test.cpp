@@ -1,0 +1,98 @@
+#include "mem/interconnect.h"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+Interconnect::Config cfg_1gbps() {
+  Interconnect::Config c;
+  c.bandwidth_Bps = 1e9;  // 1 GB/s: 1 byte/ns, easy math
+  c.latency = 1000;       // 1 us
+  return c;
+}
+
+TEST(Interconnect, TransferTimeIsLatencyPlusWire) {
+  Interconnect link(cfg_1gbps());
+  EXPECT_EQ(link.transfer_time(0), 1000u);
+  EXPECT_EQ(link.transfer_time(5000), 6000u);
+}
+
+TEST(Interconnect, SameDirectionSerializes) {
+  Interconnect link(cfg_1gbps());
+  SimTime t1 = link.reserve(Direction::HostToDevice, 0, 1000);     // 0..2000
+  SimTime t2 = link.reserve(Direction::HostToDevice, 0, 1000);     // 2000..4000
+  EXPECT_EQ(t1, 2000u);
+  EXPECT_EQ(t2, 4000u);
+}
+
+TEST(Interconnect, OppositeDirectionsIndependent) {
+  Interconnect link(cfg_1gbps());
+  link.reserve(Direction::HostToDevice, 0, 100000);
+  SimTime t = link.reserve(Direction::DeviceToHost, 0, 1000);
+  EXPECT_EQ(t, 2000u);  // unaffected by the big H2D transfer
+}
+
+TEST(Interconnect, EarliestRespected) {
+  Interconnect link(cfg_1gbps());
+  SimTime t = link.reserve(Direction::HostToDevice, 5000, 1000);
+  EXPECT_EQ(t, 7000u);  // starts at 5000
+}
+
+TEST(Interconnect, QueuedTransferStartsWhenFree) {
+  Interconnect link(cfg_1gbps());
+  link.reserve(Direction::HostToDevice, 0, 8000);  // busy until 9000
+  SimTime t = link.reserve(Direction::HostToDevice, 100, 1000);
+  EXPECT_EQ(t, 11000u);  // waits for the channel
+}
+
+TEST(Interconnect, ByteAndTransferAccounting) {
+  Interconnect link(cfg_1gbps());
+  link.reserve(Direction::HostToDevice, 0, 123);
+  link.reserve(Direction::HostToDevice, 0, 877);
+  link.reserve(Direction::DeviceToHost, 0, 5);
+  EXPECT_EQ(link.bytes_moved(Direction::HostToDevice), 1000u);
+  EXPECT_EQ(link.bytes_moved(Direction::DeviceToHost), 5u);
+  EXPECT_EQ(link.transfers(Direction::HostToDevice), 2u);
+  EXPECT_EQ(link.transfers(Direction::DeviceToHost), 1u);
+}
+
+TEST(Interconnect, PipelinedReservationSkipsFixedLatency) {
+  Interconnect link(cfg_1gbps());
+  // 100 B at 1 B/ns + 50 ns overhead; no 1 us latency.
+  SimTime done = link.reserve_pipelined(Direction::HostToDevice, 0, 100, 50);
+  EXPECT_EQ(done, 150u);
+}
+
+TEST(Interconnect, PipelinedTransactionsQueue) {
+  Interconnect link(cfg_1gbps());
+  link.reserve_pipelined(Direction::HostToDevice, 0, 100, 50);
+  SimTime done = link.reserve_pipelined(Direction::HostToDevice, 0, 100, 50);
+  EXPECT_EQ(done, 300u);  // behind the first transaction
+}
+
+TEST(Interconnect, PipelinedQueuesBehindBulkTransfers) {
+  Interconnect link(cfg_1gbps());
+  link.reserve(Direction::HostToDevice, 0, 8000);  // busy until 9000
+  SimTime done = link.reserve_pipelined(Direction::HostToDevice, 0, 100, 50);
+  EXPECT_EQ(done, 9150u);
+}
+
+TEST(Interconnect, ZeroCopyBytesAccountedSeparately) {
+  Interconnect link(cfg_1gbps());
+  link.reserve(Direction::HostToDevice, 0, 1000);
+  link.reserve_pipelined(Direction::HostToDevice, 0, 128, 50);
+  EXPECT_EQ(link.bytes_moved(Direction::HostToDevice), 1000u);
+  EXPECT_EQ(link.zero_copy_bytes(Direction::HostToDevice), 128u);
+  EXPECT_EQ(link.transfers(Direction::HostToDevice), 1u);
+}
+
+TEST(Interconnect, BusyUntilTracksChannel) {
+  Interconnect link(cfg_1gbps());
+  EXPECT_EQ(link.busy_until(Direction::HostToDevice), 0u);
+  link.reserve(Direction::HostToDevice, 0, 1000);
+  EXPECT_EQ(link.busy_until(Direction::HostToDevice), 2000u);
+}
+
+}  // namespace
+}  // namespace uvmsim

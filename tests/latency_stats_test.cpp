@@ -1,0 +1,64 @@
+// Latency-distribution instrumentation tests.
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "workloads/regular.h"
+
+namespace uvmsim {
+namespace {
+
+SimConfig cfg() {
+  SimConfig c;
+  c.set_gpu_memory(32ull << 20);
+  c.enable_fault_log = false;
+  return c;
+}
+
+TEST(LatencyStats, StallEpisodesRecorded) {
+  Simulator sim(cfg());
+  RegularTouch wl(4ull << 20);
+  wl.setup(sim);
+  RunResult r = sim.run();
+  EXPECT_GT(r.stall_latency.count(), 0u);
+  // Quantiles are ordered and in a sane band (µs to ms).
+  double p50 = r.stall_latency.quantile(0.5);
+  double p99 = r.stall_latency.quantile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GT(p50, 1e3);   // > 1 us
+  EXPECT_LT(p99, 1e10);  // < 10 s
+}
+
+TEST(LatencyStats, EpisodeCountMatchesKernelStats) {
+  Simulator sim(cfg());
+  RegularTouch wl(4ull << 20);
+  wl.setup(sim);
+  RunResult r = sim.run();
+  std::uint64_t episodes = 0;
+  for (const auto& k : r.kernels) episodes += k.stall_episodes;
+  EXPECT_EQ(r.stall_latency.count(), episodes);
+}
+
+TEST(LatencyStats, QueueLatencySamplesEveryFetchedFault) {
+  Simulator sim(cfg());
+  RegularTouch wl(4ull << 20);
+  wl.setup(sim);
+  RunResult r = sim.run();
+  EXPECT_EQ(r.fault_queue_latency.count(), r.counters.faults_fetched);
+  // Buffer residence includes at least the interrupt latency for the fault
+  // that triggered the wakeup.
+  EXPECT_GE(r.fault_queue_latency.quantile(0.5),
+            to_us(sim.config().costs.interrupt_latency) * 1e3 / 4);
+}
+
+TEST(LatencyStats, FaultFreeRunHasNoSamples) {
+  Simulator sim(cfg());
+  RegularTouch wl(4ull << 20);
+  wl.setup(sim);
+  sim.prefill_all_resident();
+  RunResult r = sim.run();
+  EXPECT_EQ(r.stall_latency.count(), 0u);
+  EXPECT_EQ(r.fault_queue_latency.count(), 0u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,57 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace uvmsim {
+namespace {
+
+TEST(Metrics, FaultReductionMatchesPaperRows) {
+  // Paper Table I rows recompute exactly.
+  EXPECT_NEAR(fault_reduction_percent(2493569, 442011), 82.27, 0.01);
+  EXPECT_NEAR(fault_reduction_percent(2522931, 51558), 97.95, 0.01);
+  EXPECT_NEAR(fault_reduction_percent(6522314, 223998), 96.56, 0.01);
+  EXPECT_NEAR(fault_reduction_percent(139785, 50231), 64.06, 0.01);
+}
+
+TEST(Metrics, FaultReductionEdgeCases) {
+  EXPECT_EQ(fault_reduction_percent(0, 0), 0.0);
+  EXPECT_EQ(fault_reduction_percent(100, 0), 100.0);
+  EXPECT_EQ(fault_reduction_percent(100, 100), 0.0);
+  EXPECT_LT(fault_reduction_percent(100, 150), 0.0);  // prefetch hurt
+}
+
+TEST(Metrics, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2 KiB");
+  EXPECT_EQ(format_bytes(3ull << 20), "3 MiB");
+  EXPECT_EQ(format_bytes(5ull << 30), "5 GiB");
+}
+
+TEST(Metrics, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "0.5 us");
+  EXPECT_EQ(format_duration(42 * kMicrosecond), "42 us");
+  EXPECT_EQ(format_duration(12 * kMillisecond), "12 ms");
+  EXPECT_EQ(format_duration(15 * kSecond), "15 s");
+}
+
+TEST(Metrics, RoughlyMonotonic) {
+  std::array<double, 4> inc = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_TRUE(roughly_monotonic_increasing(inc));
+  std::array<double, 4> noisy = {1.0, 2.0, 1.97, 4.0};  // 1.5 % dip ok
+  EXPECT_TRUE(roughly_monotonic_increasing(noisy, 0.05));
+  std::array<double, 4> broken = {1.0, 2.0, 1.0, 4.0};
+  EXPECT_FALSE(roughly_monotonic_increasing(broken, 0.05));
+  std::array<double, 1> single = {7.0};
+  EXPECT_TRUE(roughly_monotonic_increasing(single));
+}
+
+TEST(Metrics, Slowdown) {
+  EXPECT_DOUBLE_EQ(slowdown(100, 400), 4.0);
+  EXPECT_DOUBLE_EQ(slowdown(0, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,120 @@
+#include "mem/page_mask.h"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(PageMask, StartsEmpty) {
+  PageMask m;
+  EXPECT_TRUE(m.none());
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_TRUE(m.runs().empty());
+}
+
+TEST(PageMask, SetAndTest) {
+  PageMask m;
+  m.set(0);
+  m.set(511);
+  EXPECT_TRUE(m.test(0));
+  EXPECT_TRUE(m.test(511));
+  EXPECT_FALSE(m.test(1));
+  EXPECT_EQ(m.count(), 2u);
+}
+
+TEST(PageMask, SetRange) {
+  PageMask m;
+  m.set_range(10, 20);
+  EXPECT_EQ(m.count(), 10u);
+  EXPECT_FALSE(m.test(9));
+  EXPECT_TRUE(m.test(10));
+  EXPECT_TRUE(m.test(19));
+  EXPECT_FALSE(m.test(20));
+}
+
+TEST(PageMask, CountRange) {
+  PageMask m;
+  m.set_range(0, 100);
+  EXPECT_EQ(m.count_range(0, 50), 50u);
+  EXPECT_EQ(m.count_range(50, 150), 50u);
+  EXPECT_EQ(m.count_range(100, 512), 0u);
+  EXPECT_EQ(m.count_range(30, 30), 0u);
+}
+
+TEST(PageMask, RunsDecomposition) {
+  PageMask m;
+  m.set_range(0, 3);
+  m.set(10);
+  m.set_range(500, 512);
+  auto runs = m.runs();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (PageMask::Run{0, 3}));
+  EXPECT_EQ(runs[1], (PageMask::Run{10, 1}));
+  EXPECT_EQ(runs[2], (PageMask::Run{500, 12}));
+}
+
+TEST(PageMask, FullMaskSingleRun) {
+  PageMask m;
+  m.set_all();
+  auto runs = m.runs();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (PageMask::Run{0, 512}));
+}
+
+TEST(PageMask, AlternatingRuns) {
+  PageMask m;
+  for (std::uint32_t i = 0; i < 512; i += 2) m.set(i);
+  EXPECT_EQ(m.runs().size(), 256u);
+}
+
+TEST(PageMask, SetIndices) {
+  PageMask m;
+  m.set(5);
+  m.set(300);
+  auto idx = m.set_indices();
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 5u);
+  EXPECT_EQ(idx[1], 300u);
+}
+
+TEST(PageMask, BitwiseOperators) {
+  PageMask a, b;
+  a.set_range(0, 10);
+  b.set_range(5, 15);
+  EXPECT_EQ((a | b).count(), 15u);
+  EXPECT_EQ((a & b).count(), 5u);
+  EXPECT_EQ(a.and_not(b).count(), 5u);
+  EXPECT_EQ((~a).count(), 502u);
+}
+
+TEST(PageMask, CompoundAssignment) {
+  PageMask a, b;
+  a.set(1);
+  b.set(2);
+  a |= b;
+  EXPECT_EQ(a.count(), 2u);
+  a &= b;
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_TRUE(a.test(2));
+}
+
+TEST(PageMask, Equality) {
+  PageMask a, b;
+  a.set(7);
+  b.set(7);
+  EXPECT_EQ(a, b);
+  b.set(8);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PageMask, ClearAndReset) {
+  PageMask m;
+  m.set_range(0, 512);
+  m.reset(100);
+  EXPECT_EQ(m.count(), 511u);
+  m.clear();
+  EXPECT_TRUE(m.none());
+}
+
+}  // namespace
+}  // namespace uvmsim

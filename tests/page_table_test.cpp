@@ -1,0 +1,54 @@
+#include "mem/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+class PageTableTest : public ::testing::Test {
+ protected:
+  PageTableTest() : pt_(as_) { as_.create_range(2 * kVaBlockSize, "a"); }
+  AddressSpace as_;
+  PageTable pt_;
+};
+
+TEST_F(PageTableTest, TranslateMissByDefault) {
+  EXPECT_FALSE(pt_.translate(0));
+  EXPECT_FALSE(pt_.translate(600));
+}
+
+TEST_F(PageTableTest, MapMakesResident) {
+  PageMask m;
+  m.set_range(0, 4);
+  pt_.map_pages(as_.block(0), m);
+  EXPECT_TRUE(pt_.translate(0));
+  EXPECT_TRUE(pt_.translate(3));
+  EXPECT_FALSE(pt_.translate(4));
+  EXPECT_EQ(pt_.pte_writes(), 4u);
+  EXPECT_EQ(pt_.map_ops(), 1u);
+}
+
+TEST_F(PageTableTest, UnmapClearsResidency) {
+  PageMask m;
+  m.set_range(0, 8);
+  pt_.map_pages(as_.block(0), m);
+  PageMask u;
+  u.set_range(0, 2);
+  pt_.unmap_pages(as_.block(0), u);
+  EXPECT_FALSE(pt_.translate(0));
+  EXPECT_TRUE(pt_.translate(2));
+  EXPECT_EQ(pt_.unmap_ops(), 1u);
+  EXPECT_EQ(pt_.tlb_invalidates(), 1u);
+  EXPECT_EQ(pt_.pte_writes(), 10u);
+}
+
+TEST_F(PageTableTest, BlocksAreIndependent) {
+  PageMask m;
+  m.set(0);
+  pt_.map_pages(as_.block(0), m);
+  EXPECT_TRUE(pt_.translate(0));
+  EXPECT_FALSE(pt_.translate(kPagesPerBlock));  // same index, next block
+}
+
+}  // namespace
+}  // namespace uvmsim

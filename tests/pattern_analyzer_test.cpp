@@ -1,0 +1,85 @@
+#include "core/pattern_analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+class PatternTest : public ::testing::Test {
+ protected:
+  PatternTest() {
+    // Range a: 1 page (pads its block to 512); range b: one full block.
+    as_.create_range(kPageSize, "a");
+    as_.create_range(kVaBlockSize, "b");
+  }
+  AddressSpace as_;
+};
+
+TEST_F(PatternTest, AdjustedIndexClosesGaps) {
+  PatternAnalyzer pa(as_);
+  // Range a page 0 -> adjusted 0.
+  EXPECT_EQ(pa.adjusted_index(0), 0u);
+  // Range b starts at block 1 (global page 512) but adjusted index 1:
+  // the 511 padding pages of range a's block vanish.
+  EXPECT_EQ(pa.adjusted_index(as_.range(1).first_page), 1u);
+  EXPECT_EQ(pa.adjusted_index(as_.range(1).first_page + 100), 101u);
+  EXPECT_EQ(pa.total_adjusted_pages(), 513u);
+}
+
+TEST_F(PatternTest, RangeBoundaries) {
+  PatternAnalyzer pa(as_);
+  const auto& b = pa.range_boundaries();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_EQ(b[1], 1u);
+}
+
+TEST_F(PatternTest, PointsConvertLog) {
+  PatternAnalyzer pa(as_);
+  std::vector<FaultLogEntry> log;
+  FaultLogEntry e;
+  e.order = 0;
+  e.page = as_.range(1).first_page + 5;
+  e.kind = FaultLogKind::Fault;
+  e.range = 1;
+  log.push_back(e);
+  e.order = 1;
+  e.kind = FaultLogKind::Eviction;
+  log.push_back(e);
+
+  auto all = pa.points(log);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].adj_page, 6u);
+
+  auto faults_only =
+      pa.points(log, 1u << static_cast<int>(FaultLogKind::Fault));
+  ASSERT_EQ(faults_only.size(), 1u);
+  EXPECT_EQ(faults_only[0].kind, FaultLogKind::Fault);
+}
+
+TEST_F(PatternTest, AsciiScatterRenders) {
+  PatternAnalyzer pa(as_);
+  std::vector<PatternPoint> pts;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    pts.push_back(PatternPoint{i, i * 10, FaultLogKind::Fault, 1});
+  }
+  pts.push_back(PatternPoint{25, 250, FaultLogKind::Eviction, 1});
+  std::string art = pa.ascii_scatter(pts, 40, 10);
+  EXPECT_NE(art.find('.'), std::string::npos);
+  EXPECT_NE(art.find('E'), std::string::npos);
+  // 10 rows of 40 chars + newlines.
+  EXPECT_EQ(art.size(), 10u * 41u);
+}
+
+TEST_F(PatternTest, AsciiScatterEmptyInput) {
+  PatternAnalyzer pa(as_);
+  EXPECT_EQ(pa.ascii_scatter({}, 10, 10), "");
+}
+
+TEST_F(PatternTest, InvalidPageAdjustsToZero) {
+  PatternAnalyzer pa(as_);
+  EXPECT_EQ(pa.adjusted_index(5), 0u);  // padding page of range a's block
+}
+
+}  // namespace
+}  // namespace uvmsim

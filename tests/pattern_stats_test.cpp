@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/pattern_analyzer.h"
+#include "sim/rng.h"
+
+namespace uvmsim {
+namespace {
+
+std::vector<PatternPoint> points_from(
+    const std::vector<std::pair<std::uint64_t, RangeId>>& seq) {
+  std::vector<PatternPoint> out;
+  std::uint64_t order = 0;
+  for (auto [page, range] : seq) {
+    out.push_back(PatternPoint{order++, page, FaultLogKind::Fault, range});
+  }
+  return out;
+}
+
+TEST(PatternStats, SequentialSweep) {
+  std::vector<std::pair<std::uint64_t, RangeId>> seq;
+  for (std::uint64_t p = 0; p < 200; ++p) seq.emplace_back(p, 0);
+  PatternStats st = PatternAnalyzer::analyze(points_from(seq));
+  EXPECT_GT(st.ordering, 0.99);
+  EXPECT_GT(st.locality, 0.99);
+  EXPECT_EQ(st.interleave, 0.0);
+  EXPECT_EQ(st.classification(), PatternStats::Class::Sequential);
+}
+
+TEST(PatternStats, RandomScatter) {
+  Rng rng(5);
+  std::vector<std::pair<std::uint64_t, RangeId>> seq;
+  for (int i = 0; i < 500; ++i) seq.emplace_back(rng.next_below(100000), 0);
+  PatternStats st = PatternAnalyzer::analyze(points_from(seq));
+  EXPECT_LT(std::abs(st.ordering), 0.15);
+  EXPECT_LT(st.locality, 0.1);
+  EXPECT_EQ(st.classification(), PatternStats::Class::Random);
+}
+
+TEST(PatternStats, BandedMultiRange) {
+  // Three vectors swept together: a[i], b[i], c[i] interleave, each
+  // strictly ordered within its range.
+  std::vector<std::pair<std::uint64_t, RangeId>> seq;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    seq.emplace_back(i, 0);
+    seq.emplace_back(1000 + i, 1);
+    seq.emplace_back(2000 + i, 2);
+  }
+  PatternStats st = PatternAnalyzer::analyze(points_from(seq));
+  EXPECT_GT(st.ordering, 0.99);
+  EXPECT_GT(st.interleave, 0.6);
+  EXPECT_EQ(st.classification(), PatternStats::Class::Banded);
+}
+
+TEST(PatternStats, ReverseSweepHasNegativeOrdering) {
+  std::vector<std::pair<std::uint64_t, RangeId>> seq;
+  for (std::uint64_t p = 200; p-- > 0;) seq.emplace_back(p, 0);
+  PatternStats st = PatternAnalyzer::analyze(points_from(seq));
+  EXPECT_LT(st.ordering, -0.99);
+  EXPECT_GT(st.locality, 0.9);  // still local, just descending
+}
+
+TEST(PatternStats, TinyInputIsMixed) {
+  std::vector<std::pair<std::uint64_t, RangeId>> seq = {{1, 0}, {2, 0}};
+  PatternStats st = PatternAnalyzer::analyze(points_from(seq));
+  EXPECT_EQ(st.classification(), PatternStats::Class::Mixed);
+}
+
+TEST(PatternStats, EmptyInput) {
+  PatternStats st = PatternAnalyzer::analyze({});
+  EXPECT_EQ(st.samples, 0u);
+  EXPECT_EQ(st.ordering, 0.0);
+}
+
+TEST(PatternStats, ClassNames) {
+  EXPECT_STREQ(PatternStats::to_string(PatternStats::Class::Sequential),
+               "sequential");
+  EXPECT_STREQ(PatternStats::to_string(PatternStats::Class::Random),
+               "random");
+  EXPECT_STREQ(PatternStats::to_string(PatternStats::Class::Banded),
+               "banded");
+  EXPECT_STREQ(PatternStats::to_string(PatternStats::Class::Mixed), "mixed");
+}
+
+}  // namespace
+}  // namespace uvmsim

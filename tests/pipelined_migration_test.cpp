@@ -1,0 +1,73 @@
+// Pipelined-migration extension tests.
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "workloads/regular.h"
+#include "workloads/registry.h"
+
+namespace uvmsim {
+namespace {
+
+SimConfig cfg(bool pipelined) {
+  SimConfig c;
+  c.set_gpu_memory(32ull << 20);
+  c.enable_fault_log = false;
+  c.driver.pipelined_migrations = pipelined;
+  return c;
+}
+
+RunResult run(bool pipelined, std::uint64_t bytes = 8ull << 20) {
+  Simulator sim(cfg(pipelined));
+  RegularTouch wl(bytes);
+  wl.setup(sim);
+  return sim.run();
+}
+
+TEST(PipelinedMigration, SameFaultAndPageAccounting) {
+  RunResult blocking = run(false);
+  RunResult pipelined = run(true);
+  // The data plane is identical — only timing changes.
+  EXPECT_EQ(blocking.counters.pages_migrated_h2d,
+            pipelined.counters.pages_migrated_h2d);
+  EXPECT_EQ(blocking.bytes_h2d, pipelined.bytes_h2d);
+  EXPECT_EQ(blocking.resident_pages_at_end, pipelined.resident_pages_at_end);
+}
+
+TEST(PipelinedMigration, OverlapSpeedsUpTheRun) {
+  EXPECT_LT(run(true).total_kernel_time(), run(false).total_kernel_time());
+}
+
+TEST(PipelinedMigration, DriverBusyTimeDrops) {
+  // Migration wait leaves the driver's busy time; the issue cost stays.
+  RunResult blocking = run(false);
+  RunResult pipelined = run(true);
+  EXPECT_LT(pipelined.profiler.total(CostCategory::ServiceMigrate),
+            blocking.profiler.total(CostCategory::ServiceMigrate) / 4);
+}
+
+TEST(PipelinedMigration, KernelTimeBoundedBelowByTransferTime) {
+  // Replays wait for data: the run can never finish before the wire time
+  // of the data it moved.
+  RunResult r = run(true);
+  SimConfig c = cfg(true);
+  Interconnect link(c.interconnect);
+  EXPECT_GE(r.end_time, link.transfer_time(r.bytes_h2d));
+}
+
+TEST(PipelinedMigration, WorksUnderOversubscription) {
+  SimConfig c = cfg(true);
+  c.set_gpu_memory(16ull << 20);
+  Simulator sim(c);
+  auto wl = make_workload("regular", 24ull << 20);
+  wl->setup(sim);
+  RunResult r = sim.run();
+  EXPECT_GT(r.counters.evictions, 0u);
+  EXPECT_LE(r.resident_pages_at_end * kPageSize, c.gpu_memory());
+}
+
+TEST(PipelinedMigration, Deterministic) {
+  EXPECT_EQ(run(true).end_time, run(true).end_time);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,54 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(Table, TextRenderingAligned) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long_name", "22"});
+  std::string s = t.to_text();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long_name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::string s = t.to_csv();
+  EXPECT_EQ(s, "csv,a,b\ncsv,1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only_one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Fmt, Doubles) {
+  EXPECT_EQ(fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(fmt(1000000.0, 4), "1e+06");
+  EXPECT_EQ(fmt(0.0), "0");
+}
+
+TEST(Fmt, Integers) {
+  EXPECT_EQ(fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(fmt(std::uint64_t{0}), "0");
+}
+
+}  // namespace
+}  // namespace uvmsim

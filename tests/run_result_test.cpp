@@ -1,0 +1,82 @@
+#include "core/run_result.h"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+RunResult sample() {
+  RunResult r;
+  KernelStats k1;
+  k1.launched_at = 100;
+  k1.completed_at = 1100;
+  k1.faults_raised = 10;
+  k1.work_units = 1e6;
+  KernelStats k2;
+  k2.launched_at = 2000;
+  k2.completed_at = 3000;
+  k2.faults_raised = 5;
+  k2.work_units = 2e6;
+  r.kernels = {k1, k2};
+  r.total_bytes = 96ull << 20;
+  r.gpu_capacity_bytes = 64ull << 20;
+  r.counters.pages_evicted = 30;
+  return r;
+}
+
+TEST(RunResult, TotalKernelTimeSums) {
+  EXPECT_EQ(sample().total_kernel_time(), 2000u);
+}
+
+TEST(RunResult, TotalFaultsRaised) {
+  EXPECT_EQ(sample().total_faults_raised(), 15u);
+}
+
+TEST(RunResult, Oversubscription) {
+  EXPECT_DOUBLE_EQ(sample().oversubscription(), 1.5);
+  RunResult empty;
+  EXPECT_EQ(empty.oversubscription(), 0.0);
+}
+
+TEST(RunResult, ComputeRate) {
+  // 3e6 work units over 2000 ns = 1.5e12 units/s.
+  EXPECT_NEAR(sample().compute_rate(), 1.5e12, 1e6);
+  RunResult empty;
+  EXPECT_EQ(empty.compute_rate(), 0.0);
+}
+
+TEST(RunResult, EvictionsPerFault) {
+  EXPECT_DOUBLE_EQ(sample().evictions_per_fault(), 2.0);
+  RunResult none;
+  EXPECT_EQ(none.evictions_per_fault(), 0.0);
+}
+
+TEST(KernelStats, Duration) {
+  KernelStats k;
+  k.launched_at = 10;
+  k.completed_at = 110;
+  EXPECT_EQ(k.duration(), 100u);
+}
+
+TEST(FaultLog, OrdersEntries) {
+  FaultLog log(true);
+  FaultLogEntry e;
+  e.page = 7;
+  log.record(e);
+  e.page = 9;
+  log.record(e);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.entries()[0].order, 0u);
+  EXPECT_EQ(log.entries()[1].order, 1u);
+  EXPECT_EQ(log.entries()[1].page, 9u);
+}
+
+TEST(FaultLog, DisabledDropsEntries) {
+  FaultLog log(false);
+  log.record(FaultLogEntry{});
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_FALSE(log.enabled());
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,119 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uvmsim {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Accumulator, SingleSampleVarianceZero) {
+  Accumulator a;
+  a.add(42.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombined) {
+  Accumulator all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 40 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(LogHistogram, CountsAndQuantiles) {
+  LogHistogram h;
+  for (std::uint64_t i = 0; i < 100; ++i) h.add(10);  // bucket [8,16)
+  EXPECT_EQ(h.count(), 100u);
+  double med = h.quantile(0.5);
+  EXPECT_GE(med, 8.0);
+  EXPECT_LE(med, 16.0);
+}
+
+TEST(LogHistogram, ZeroBucket) {
+  LogHistogram h;
+  h.add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.quantile(0.5), 1.0);
+}
+
+TEST(LogHistogram, SpreadQuantilesOrdered) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 4096; v *= 2) {
+    for (int i = 0; i < 10; ++i) h.add(v);
+  }
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+}
+
+TEST(LogHistogram, ToStringListsNonEmptyBuckets) {
+  LogHistogram h;
+  h.add(3);
+  h.add(100);
+  std::string s = h.to_string();
+  EXPECT_NE(s.find("2 4 1"), std::string::npos);
+  EXPECT_NE(s.find("64 128 1"), std::string::npos);
+}
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, EmptyIsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, AddAfterQuantileStillWorks) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace uvmsim

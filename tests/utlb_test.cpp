@@ -1,0 +1,56 @@
+#include "gpu/utlb.h"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(Utlb, MissWhenEmpty) {
+  Utlb t(4);
+  EXPECT_FALSE(t.lookup(0));
+}
+
+TEST(Utlb, InsertThenHit) {
+  Utlb t(4);
+  t.insert(100);
+  EXPECT_TRUE(t.lookup(100));
+}
+
+TEST(Utlb, BigPageGranularity) {
+  Utlb t(4);
+  t.insert(0);
+  // All pages in the same 16-page big page hit.
+  for (VirtPage p = 0; p < kPagesPerBigPage; ++p) EXPECT_TRUE(t.lookup(p));
+  EXPECT_FALSE(t.lookup(kPagesPerBigPage));
+}
+
+TEST(Utlb, RoundRobinEviction) {
+  Utlb t(2);
+  t.insert(0 * kPagesPerBigPage);
+  t.insert(1 * kPagesPerBigPage);
+  t.insert(2 * kPagesPerBigPage);  // evicts the first slot
+  EXPECT_FALSE(t.lookup(0));
+  EXPECT_TRUE(t.lookup(1 * kPagesPerBigPage));
+  EXPECT_TRUE(t.lookup(2 * kPagesPerBigPage));
+}
+
+TEST(Utlb, InvalidateAllClears) {
+  Utlb t(4);
+  t.insert(0);
+  t.insert(100);
+  t.invalidate_all();
+  EXPECT_FALSE(t.lookup(0));
+  EXPECT_FALSE(t.lookup(100));
+  EXPECT_EQ(t.invalidations(), 1u);
+}
+
+TEST(Utlb, ReinsertAfterInvalidate) {
+  Utlb t(4);
+  t.insert(5);
+  t.invalidate_all();
+  t.insert(5);
+  EXPECT_TRUE(t.lookup(5));
+}
+
+}  // namespace
+}  // namespace uvmsim

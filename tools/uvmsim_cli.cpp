@@ -1,0 +1,332 @@
+// uvmsim command-line interface: run any workload under any driver
+// configuration and print a full instrumentation report — the tool a
+// downstream user reaches for first.
+//
+//   uvmsim_cli --workload sgemm --size-mib 96 --gpu-mib 128
+//   uvmsim_cli --workload random --size-mib 192 --prefetch off --pattern
+//   uvmsim_cli --help
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/pattern_analyzer.h"
+#include "core/timeline.h"
+#include "core/report.h"
+#include "baseline/explicit_transfer.h"
+#include "core/simulator.h"
+#include "uvm/replay_policy.h"
+#include "workloads/registry.h"
+#include "workloads/trace_io.h"
+
+namespace {
+
+using namespace uvmsim;
+
+struct CliOptions {
+  std::string workload = "regular";
+  std::uint64_t size_mib = 64;
+  std::uint64_t gpu_mib = 128;
+  std::string prefetch = "on";  // on | off | adaptive
+  std::uint32_t threshold = 51;
+  std::string policy = "batch_flush";
+  std::string eviction = "lru";
+  std::uint64_t granularity_kib = 2048;
+  std::uint32_t batch_size = 256;
+  std::string thrash = "off";  // off | detect | pin | throttle
+  std::uint64_t seed = 42;
+  bool pattern = false;
+  bool csv = false;
+  bool pipelined = false;
+  bool explicit_baseline = false;
+  std::string dump_trace;    // capture the workload's trace to this file
+  std::string replay_trace;  // run this trace file instead of --workload
+};
+
+void print_help() {
+  std::cout <<
+      R"(uvmsim_cli — UVM demand-paging simulator front end
+
+options:
+  --workload NAME      regular|random|sgemm|stream|cufft|tealeaf|hpgmg|cusparse|bfs
+  --size-mib N         managed data footprint (default 64)
+  --gpu-mib N          simulated GPU memory (default 128)
+  --prefetch MODE      on | off | adaptive (default on)
+  --threshold P        density threshold percent 1..100 (default 51)
+  --policy P           block | batch | batch_flush | once (default batch_flush)
+  --eviction P         lru | access_counter (default lru)
+  --granularity-kib N  allocation slice size, divides 2048 (default 2048)
+  --batch-size N       faults per driver batch (default 256)
+  --thrash MODE        off | detect | pin | throttle (default off)
+  --seed N             simulation seed (default 42)
+  --pipelined          overlap migrations with servicing (extension)
+  --pattern            print the Fig.7-style fault scatter
+  --baseline           also run the explicit-transfer baseline
+  --csv                emit csv rows for the summary
+  --dump-trace FILE    capture the workload's access trace to FILE and exit
+  --replay-trace FILE  run a captured trace instead of a named workload
+  --help               this text
+)";
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions o;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") {
+      print_help();
+      return std::nullopt;
+    } else if (a == "--pattern") {
+      o.pattern = true;
+    } else if (a == "--pipelined") {
+      o.pipelined = true;
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (a == "--baseline") {
+      o.explicit_baseline = true;
+    } else if (a == "--workload") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.workload = v;
+    } else if (a == "--size-mib") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.size_mib = std::stoull(v);
+    } else if (a == "--gpu-mib") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.gpu_mib = std::stoull(v);
+    } else if (a == "--prefetch") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.prefetch = v;
+    } else if (a == "--threshold") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.threshold = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (a == "--policy") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.policy = v;
+    } else if (a == "--eviction") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.eviction = v;
+    } else if (a == "--granularity-kib") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.granularity_kib = std::stoull(v);
+    } else if (a == "--batch-size") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.batch_size = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (a == "--thrash") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.thrash = v;
+    } else if (a == "--seed") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.seed = std::stoull(v);
+    } else if (a == "--dump-trace") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.dump_trace = v;
+    } else if (a == "--replay-trace") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.replay_trace = v;
+    } else {
+      std::cerr << "unknown option: " << a << " (try --help)\n";
+      return std::nullopt;
+    }
+  }
+  return o;
+}
+
+std::optional<SimConfig> to_config(const CliOptions& o) {
+  SimConfig cfg;
+  cfg.set_gpu_memory(o.gpu_mib << 20);
+  cfg.seed = o.seed;
+  cfg.enable_fault_log = o.pattern;
+  cfg.driver.batch_size = o.batch_size;
+  cfg.driver.prefetch_threshold = o.threshold;
+
+  if (o.prefetch == "on") {
+    cfg.driver.prefetch_enabled = true;
+  } else if (o.prefetch == "off") {
+    cfg.driver.prefetch_enabled = false;
+  } else if (o.prefetch == "adaptive") {
+    cfg.driver.prefetch_enabled = true;
+    cfg.driver.adaptive_prefetch = true;
+  } else {
+    std::cerr << "bad --prefetch: " << o.prefetch << "\n";
+    return std::nullopt;
+  }
+
+  if (o.policy == "block") {
+    cfg.driver.replay_policy = ReplayPolicyKind::Block;
+  } else if (o.policy == "batch") {
+    cfg.driver.replay_policy = ReplayPolicyKind::Batch;
+  } else if (o.policy == "batch_flush") {
+    cfg.driver.replay_policy = ReplayPolicyKind::BatchFlush;
+  } else if (o.policy == "once") {
+    cfg.driver.replay_policy = ReplayPolicyKind::Once;
+  } else {
+    std::cerr << "bad --policy: " << o.policy << "\n";
+    return std::nullopt;
+  }
+
+  if (o.eviction == "lru") {
+    cfg.driver.eviction_policy = EvictionPolicyKind::Lru;
+  } else if (o.eviction == "access_counter") {
+    cfg.driver.eviction_policy = EvictionPolicyKind::AccessCounter;
+    cfg.access_counters.enabled = true;
+  } else {
+    std::cerr << "bad --eviction: " << o.eviction << "\n";
+    return std::nullopt;
+  }
+
+  cfg.driver.pipelined_migrations = o.pipelined;
+  cfg.driver.alloc_granularity_bytes = o.granularity_kib << 10;
+  cfg.pma.chunk_bytes = cfg.driver.alloc_granularity_bytes;
+
+  if (o.thrash != "off") {
+    cfg.driver.thrashing.enabled = true;
+    if (o.thrash == "detect") {
+      cfg.driver.thrashing.mitigation = ThrashMitigation::None;
+    } else if (o.thrash == "pin") {
+      cfg.driver.thrashing.mitigation = ThrashMitigation::Pin;
+    } else if (o.thrash == "throttle") {
+      cfg.driver.thrashing.mitigation = ThrashMitigation::Throttle;
+    } else {
+      std::cerr << "bad --thrash: " << o.thrash << "\n";
+      return std::nullopt;
+    }
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = parse(argc, argv);
+  if (!opts) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 1;
+  auto cfg = to_config(*opts);
+  if (!cfg) return 1;
+
+  std::unique_ptr<Workload> wl;
+  try {
+    if (!opts->replay_trace.empty()) {
+      std::ifstream in(opts->replay_trace);
+      if (!in) {
+        std::cerr << "cannot open trace: " << opts->replay_trace << "\n";
+        return 1;
+      }
+      wl = std::make_unique<TraceWorkload>(parse_trace(in),
+                                           opts->replay_trace);
+    } else {
+      wl = make_workload(opts->workload, opts->size_mib << 20);
+    }
+    if (!opts->dump_trace.empty()) {
+      std::ofstream out(opts->dump_trace);
+      if (!out) {
+        std::cerr << "cannot write trace: " << opts->dump_trace << "\n";
+        return 1;
+      }
+      write_trace(out, capture_trace(*wl, *cfg));
+      std::cout << "trace written to " << opts->dump_trace << "\n";
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+
+  Simulator sim(*cfg);
+  wl->setup(sim);
+  RunResult r = sim.run();
+
+  std::cout << "workload " << wl->name() << ", "
+            << format_bytes(r.total_bytes) << " on "
+            << format_bytes(cfg->gpu_memory()) << " GPU ("
+            << fmt(100.0 * r.oversubscription(), 4) << " %)\n";
+
+  Table summary({"metric", "value"});
+  summary.add_row({"kernel_time", format_duration(r.total_kernel_time())});
+  summary.add_row({"end_to_end", format_duration(r.end_time)});
+  summary.add_row({"kernels", fmt(static_cast<std::uint64_t>(r.kernels.size()))});
+  summary.add_row({"faults_fetched", fmt(r.counters.faults_fetched)});
+  summary.add_row({"faults_serviced", fmt(r.counters.faults_serviced)});
+  summary.add_row({"dup+stale", fmt(r.counters.duplicate_faults +
+                                    r.counters.stale_faults)});
+  summary.add_row({"pages_migrated_h2d", fmt(r.counters.pages_migrated_h2d)});
+  summary.add_row({"pages_prefetched", fmt(r.counters.pages_prefetched)});
+  summary.add_row({"wasted_prefetch", fmt(r.wasted_prefetch_at_end)});
+  summary.add_row({"pages_zeroed", fmt(r.counters.pages_zeroed)});
+  summary.add_row({"evictions", fmt(r.counters.evictions)});
+  summary.add_row({"pages_evicted", fmt(r.counters.pages_evicted)});
+  summary.add_row({"replays", fmt(r.counters.replays_issued)});
+  summary.add_row({"driver_passes", fmt(r.counters.passes)});
+  summary.add_row({"bytes_h2d", format_bytes(r.bytes_h2d)});
+  summary.add_row({"bytes_d2h", format_bytes(r.bytes_d2h)});
+  summary.add_row({"thrash_pinned", fmt(r.counters.thrash_pinned_pages)});
+  if (opts->csv) {
+    std::cout << summary.to_csv();
+  }
+  std::cout << summary.to_text();
+
+  Table breakdown({"driver_category", "time", "share_pct"});
+  SimDuration grand = r.profiler.grand_total();
+  for (std::size_t i = 0; i < Profiler::kNumCategories; ++i) {
+    auto c = static_cast<CostCategory>(i);
+    if (r.profiler.total(c) == 0) continue;
+    double share = grand ? 100.0 * static_cast<double>(r.profiler.total(c)) /
+                               static_cast<double>(grand)
+                         : 0.0;
+    breakdown.add_row({std::string(to_string(c)),
+                       format_duration(r.profiler.total(c)),
+                       fmt(share, 3)});
+  }
+  std::cout << '\n' << breakdown.to_text();
+
+  if (r.stall_latency.count() > 0) {
+    Table lat({"latency", "p50", "p90", "p99", "samples"});
+    auto q = [](const LogHistogram& h, double p_) {
+      return format_duration(static_cast<SimDuration>(h.quantile(p_)));
+    };
+    lat.add_row({"warp_stall", q(r.stall_latency, 0.5),
+                 q(r.stall_latency, 0.9), q(r.stall_latency, 0.99),
+                 fmt(r.stall_latency.count())});
+    lat.add_row({"fault_queue", q(r.fault_queue_latency, 0.5),
+                 q(r.fault_queue_latency, 0.9),
+                 q(r.fault_queue_latency, 0.99),
+                 fmt(r.fault_queue_latency.count())});
+    std::cout << '\n' << lat.to_text();
+  }
+
+  if (opts->pattern) {
+    PatternAnalyzer pa(sim.address_space());
+    auto pts = pa.points(r.fault_log);
+    std::cout << "\naccess pattern ('.' fault, '+' prefetch, 'E' evict):\n"
+              << pa.ascii_scatter(pts, 110, 28);
+
+    Timeline tl(r.fault_log, std::max<SimDuration>(r.end_time / 100, 1));
+    std::cout << "\nactivity over time:\n"
+              << "  faults    |" << tl.sparkline(FaultLogKind::Fault, 100)
+              << "|\n"
+              << "  prefetch  |" << tl.sparkline(FaultLogKind::Prefetch, 100)
+              << "|\n"
+              << "  evictions |" << tl.sparkline(FaultLogKind::Eviction, 100)
+              << "|\n";
+  }
+
+  if (opts->explicit_baseline) {
+    auto wl2 = make_workload(opts->workload, opts->size_mib << 20);
+    ExplicitResult ex = ExplicitTransfer::run(*cfg, *wl2);
+    std::cout << "\nexplicit-transfer baseline: "
+              << format_duration(ex.total) << " (UVM is "
+              << fmt(slowdown(ex.total, r.total_kernel_time()), 3)
+              << "x)\n";
+  }
+  return 0;
+}
