@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl10_multi_tenant.dir/abl10_multi_tenant.cpp.o"
+  "CMakeFiles/abl10_multi_tenant.dir/abl10_multi_tenant.cpp.o.d"
+  "abl10_multi_tenant"
+  "abl10_multi_tenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl10_multi_tenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

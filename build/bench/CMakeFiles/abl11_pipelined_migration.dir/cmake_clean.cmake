@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl11_pipelined_migration.dir/abl11_pipelined_migration.cpp.o"
+  "CMakeFiles/abl11_pipelined_migration.dir/abl11_pipelined_migration.cpp.o.d"
+  "abl11_pipelined_migration"
+  "abl11_pipelined_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl11_pipelined_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl11_pipelined_migration.
+# This may be replaced when dependencies are built.

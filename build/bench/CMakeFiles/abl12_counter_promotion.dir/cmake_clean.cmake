@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl12_counter_promotion.dir/abl12_counter_promotion.cpp.o"
+  "CMakeFiles/abl12_counter_promotion.dir/abl12_counter_promotion.cpp.o.d"
+  "abl12_counter_promotion"
+  "abl12_counter_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl12_counter_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

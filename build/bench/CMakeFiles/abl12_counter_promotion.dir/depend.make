@@ -1,0 +1,2 @@
+# Empty dependencies file for abl12_counter_promotion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_batch_size.dir/abl2_batch_size.cpp.o"
+  "CMakeFiles/abl2_batch_size.dir/abl2_batch_size.cpp.o.d"
+  "abl2_batch_size"
+  "abl2_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_replay_policies.dir/abl3_replay_policies.cpp.o"
+  "CMakeFiles/abl3_replay_policies.dir/abl3_replay_policies.cpp.o.d"
+  "abl3_replay_policies"
+  "abl3_replay_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_replay_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_adaptive_prefetch.dir/abl4_adaptive_prefetch.cpp.o"
+  "CMakeFiles/abl4_adaptive_prefetch.dir/abl4_adaptive_prefetch.cpp.o.d"
+  "abl4_adaptive_prefetch"
+  "abl4_adaptive_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_adaptive_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

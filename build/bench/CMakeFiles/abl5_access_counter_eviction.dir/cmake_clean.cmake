@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl5_access_counter_eviction.dir/abl5_access_counter_eviction.cpp.o"
+  "CMakeFiles/abl5_access_counter_eviction.dir/abl5_access_counter_eviction.cpp.o.d"
+  "abl5_access_counter_eviction"
+  "abl5_access_counter_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl5_access_counter_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl5_access_counter_eviction.
+# This may be replaced when dependencies are built.

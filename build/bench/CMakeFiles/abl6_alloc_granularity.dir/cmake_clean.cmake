@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl6_alloc_granularity.dir/abl6_alloc_granularity.cpp.o"
+  "CMakeFiles/abl6_alloc_granularity.dir/abl6_alloc_granularity.cpp.o.d"
+  "abl6_alloc_granularity"
+  "abl6_alloc_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl6_alloc_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

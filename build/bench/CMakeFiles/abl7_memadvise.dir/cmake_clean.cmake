@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl7_memadvise.dir/abl7_memadvise.cpp.o"
+  "CMakeFiles/abl7_memadvise.dir/abl7_memadvise.cpp.o.d"
+  "abl7_memadvise"
+  "abl7_memadvise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl7_memadvise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl7_memadvise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl8_thrashing.dir/abl8_thrashing.cpp.o"
+  "CMakeFiles/abl8_thrashing.dir/abl8_thrashing.cpp.o.d"
+  "abl8_thrashing"
+  "abl8_thrashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl8_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

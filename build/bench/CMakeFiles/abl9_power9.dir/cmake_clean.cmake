@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl9_power9.dir/abl9_power9.cpp.o"
+  "CMakeFiles/abl9_power9.dir/abl9_power9.cpp.o.d"
+  "abl9_power9"
+  "abl9_power9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl9_power9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl9_power9.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_uvm_vs_explicit.dir/fig01_uvm_vs_explicit.cpp.o"
+  "CMakeFiles/fig01_uvm_vs_explicit.dir/fig01_uvm_vs_explicit.cpp.o.d"
+  "fig01_uvm_vs_explicit"
+  "fig01_uvm_vs_explicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_uvm_vs_explicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

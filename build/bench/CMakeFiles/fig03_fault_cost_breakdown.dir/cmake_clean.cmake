@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_fault_cost_breakdown.dir/fig03_fault_cost_breakdown.cpp.o"
+  "CMakeFiles/fig03_fault_cost_breakdown.dir/fig03_fault_cost_breakdown.cpp.o.d"
+  "fig03_fault_cost_breakdown"
+  "fig03_fault_cost_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fault_cost_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_batch_policy.dir/fig05_batch_policy.cpp.o"
+  "CMakeFiles/fig05_batch_policy.dir/fig05_batch_policy.cpp.o.d"
+  "fig05_batch_policy"
+  "fig05_batch_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_batch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_prefetch_tree.dir/fig06_prefetch_tree.cpp.o"
+  "CMakeFiles/fig06_prefetch_tree.dir/fig06_prefetch_tree.cpp.o.d"
+  "fig06_prefetch_tree"
+  "fig06_prefetch_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_prefetch_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

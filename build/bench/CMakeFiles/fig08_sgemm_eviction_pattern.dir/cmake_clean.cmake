@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sgemm_eviction_pattern.dir/fig08_sgemm_eviction_pattern.cpp.o"
+  "CMakeFiles/fig08_sgemm_eviction_pattern.dir/fig08_sgemm_eviction_pattern.cpp.o.d"
+  "fig08_sgemm_eviction_pattern"
+  "fig08_sgemm_eviction_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sgemm_eviction_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_sgemm_eviction_pattern.
+# This may be replaced when dependencies are built.

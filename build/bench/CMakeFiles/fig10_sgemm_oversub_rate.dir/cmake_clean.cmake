@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sgemm_oversub_rate.dir/fig10_sgemm_oversub_rate.cpp.o"
+  "CMakeFiles/fig10_sgemm_oversub_rate.dir/fig10_sgemm_oversub_rate.cpp.o.d"
+  "fig10_sgemm_oversub_rate"
+  "fig10_sgemm_oversub_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sgemm_oversub_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

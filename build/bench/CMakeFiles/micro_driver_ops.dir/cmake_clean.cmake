@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_driver_ops.dir/micro_driver_ops.cpp.o"
+  "CMakeFiles/micro_driver_ops.dir/micro_driver_ops.cpp.o.d"
+  "micro_driver_ops"
+  "micro_driver_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_driver_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_invariance.dir/scale_invariance.cpp.o"
+  "CMakeFiles/scale_invariance.dir/scale_invariance.cpp.o.d"
+  "scale_invariance"
+  "scale_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_trace.dir/pattern_trace.cpp.o"
+  "CMakeFiles/pattern_trace.dir/pattern_trace.cpp.o.d"
+  "pattern_trace"
+  "pattern_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_policy_lab.dir/replay_policy_lab.cpp.o"
+  "CMakeFiles/replay_policy_lab.dir/replay_policy_lab.cpp.o.d"
+  "replay_policy_lab"
+  "replay_policy_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_policy_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/explicit_transfer.cpp" "src/CMakeFiles/uvmsim.dir/baseline/explicit_transfer.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/baseline/explicit_transfer.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/uvmsim.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/fault_log.cpp" "src/CMakeFiles/uvmsim.dir/core/fault_log.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/fault_log.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/uvmsim.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/pattern_analyzer.cpp" "src/CMakeFiles/uvmsim.dir/core/pattern_analyzer.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/pattern_analyzer.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/CMakeFiles/uvmsim.dir/core/profiler.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/profiler.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/uvmsim.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/run_result.cpp" "src/CMakeFiles/uvmsim.dir/core/run_result.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/run_result.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/uvmsim.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/simulator.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/CMakeFiles/uvmsim.dir/core/timeline.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/core/timeline.cpp.o.d"
+  "/root/repo/src/gpu/access.cpp" "src/CMakeFiles/uvmsim.dir/gpu/access.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/gpu/access.cpp.o.d"
+  "/root/repo/src/gpu/access_counters.cpp" "src/CMakeFiles/uvmsim.dir/gpu/access_counters.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/gpu/access_counters.cpp.o.d"
+  "/root/repo/src/gpu/block_scheduler.cpp" "src/CMakeFiles/uvmsim.dir/gpu/block_scheduler.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/gpu/block_scheduler.cpp.o.d"
+  "/root/repo/src/gpu/fault_buffer.cpp" "src/CMakeFiles/uvmsim.dir/gpu/fault_buffer.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/gpu/fault_buffer.cpp.o.d"
+  "/root/repo/src/gpu/gpu_engine.cpp" "src/CMakeFiles/uvmsim.dir/gpu/gpu_engine.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/gpu/gpu_engine.cpp.o.d"
+  "/root/repo/src/gpu/utlb.cpp" "src/CMakeFiles/uvmsim.dir/gpu/utlb.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/gpu/utlb.cpp.o.d"
+  "/root/repo/src/gpu/warp.cpp" "src/CMakeFiles/uvmsim.dir/gpu/warp.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/gpu/warp.cpp.o.d"
+  "/root/repo/src/mem/address_space.cpp" "src/CMakeFiles/uvmsim.dir/mem/address_space.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/address_space.cpp.o.d"
+  "/root/repo/src/mem/dma_engine.cpp" "src/CMakeFiles/uvmsim.dir/mem/dma_engine.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/dma_engine.cpp.o.d"
+  "/root/repo/src/mem/interconnect.cpp" "src/CMakeFiles/uvmsim.dir/mem/interconnect.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/interconnect.cpp.o.d"
+  "/root/repo/src/mem/page_mask.cpp" "src/CMakeFiles/uvmsim.dir/mem/page_mask.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/page_mask.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/CMakeFiles/uvmsim.dir/mem/page_table.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/page_table.cpp.o.d"
+  "/root/repo/src/mem/pma.cpp" "src/CMakeFiles/uvmsim.dir/mem/pma.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/mem/pma.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/uvmsim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/uvmsim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/uvmsim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/thread_pool.cpp" "src/CMakeFiles/uvmsim.dir/sim/thread_pool.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/sim/thread_pool.cpp.o.d"
+  "/root/repo/src/uvm/access_counter_eviction.cpp" "src/CMakeFiles/uvmsim.dir/uvm/access_counter_eviction.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/access_counter_eviction.cpp.o.d"
+  "/root/repo/src/uvm/adaptive_prefetcher.cpp" "src/CMakeFiles/uvmsim.dir/uvm/adaptive_prefetcher.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/adaptive_prefetcher.cpp.o.d"
+  "/root/repo/src/uvm/cost_model.cpp" "src/CMakeFiles/uvmsim.dir/uvm/cost_model.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/cost_model.cpp.o.d"
+  "/root/repo/src/uvm/counters.cpp" "src/CMakeFiles/uvmsim.dir/uvm/counters.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/counters.cpp.o.d"
+  "/root/repo/src/uvm/driver.cpp" "src/CMakeFiles/uvmsim.dir/uvm/driver.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/driver.cpp.o.d"
+  "/root/repo/src/uvm/eviction_lru.cpp" "src/CMakeFiles/uvmsim.dir/uvm/eviction_lru.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/eviction_lru.cpp.o.d"
+  "/root/repo/src/uvm/fault_batch.cpp" "src/CMakeFiles/uvmsim.dir/uvm/fault_batch.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/fault_batch.cpp.o.d"
+  "/root/repo/src/uvm/prefetch_tree.cpp" "src/CMakeFiles/uvmsim.dir/uvm/prefetch_tree.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/prefetch_tree.cpp.o.d"
+  "/root/repo/src/uvm/prefetcher.cpp" "src/CMakeFiles/uvmsim.dir/uvm/prefetcher.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/prefetcher.cpp.o.d"
+  "/root/repo/src/uvm/replay_policy.cpp" "src/CMakeFiles/uvmsim.dir/uvm/replay_policy.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/replay_policy.cpp.o.d"
+  "/root/repo/src/uvm/service.cpp" "src/CMakeFiles/uvmsim.dir/uvm/service.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/service.cpp.o.d"
+  "/root/repo/src/uvm/thrashing_detector.cpp" "src/CMakeFiles/uvmsim.dir/uvm/thrashing_detector.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/uvm/thrashing_detector.cpp.o.d"
+  "/root/repo/src/workloads/bfs.cpp" "src/CMakeFiles/uvmsim.dir/workloads/bfs.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/bfs.cpp.o.d"
+  "/root/repo/src/workloads/cusparse_spmm.cpp" "src/CMakeFiles/uvmsim.dir/workloads/cusparse_spmm.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/cusparse_spmm.cpp.o.d"
+  "/root/repo/src/workloads/fft.cpp" "src/CMakeFiles/uvmsim.dir/workloads/fft.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/fft.cpp.o.d"
+  "/root/repo/src/workloads/hpgmg.cpp" "src/CMakeFiles/uvmsim.dir/workloads/hpgmg.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/hpgmg.cpp.o.d"
+  "/root/repo/src/workloads/random_access.cpp" "src/CMakeFiles/uvmsim.dir/workloads/random_access.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/random_access.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/uvmsim.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/regular.cpp" "src/CMakeFiles/uvmsim.dir/workloads/regular.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/regular.cpp.o.d"
+  "/root/repo/src/workloads/sgemm.cpp" "src/CMakeFiles/uvmsim.dir/workloads/sgemm.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/sgemm.cpp.o.d"
+  "/root/repo/src/workloads/stream_triad.cpp" "src/CMakeFiles/uvmsim.dir/workloads/stream_triad.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/stream_triad.cpp.o.d"
+  "/root/repo/src/workloads/tealeaf.cpp" "src/CMakeFiles/uvmsim.dir/workloads/tealeaf.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/tealeaf.cpp.o.d"
+  "/root/repo/src/workloads/trace_io.cpp" "src/CMakeFiles/uvmsim.dir/workloads/trace_io.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/trace_io.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/uvmsim.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/uvmsim.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_prefetcher_test.dir/adaptive_prefetcher_test.cpp.o"
+  "CMakeFiles/adaptive_prefetcher_test.dir/adaptive_prefetcher_test.cpp.o.d"
+  "adaptive_prefetcher_test"
+  "adaptive_prefetcher_test.pdb"
+  "adaptive_prefetcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_prefetcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advise_test.dir/advise_test.cpp.o"
+  "CMakeFiles/advise_test.dir/advise_test.cpp.o.d"
+  "advise_test"
+  "advise_test.pdb"
+  "advise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_scheduler_test.dir/block_scheduler_test.cpp.o"
+  "CMakeFiles/block_scheduler_test.dir/block_scheduler_test.cpp.o.d"
+  "block_scheduler_test"
+  "block_scheduler_test.pdb"
+  "block_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_batch_test.dir/fault_batch_test.cpp.o"
+  "CMakeFiles/fault_batch_test.dir/fault_batch_test.cpp.o.d"
+  "fault_batch_test"
+  "fault_batch_test.pdb"
+  "fault_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_buffer_test.dir/fault_buffer_test.cpp.o"
+  "CMakeFiles/fault_buffer_test.dir/fault_buffer_test.cpp.o.d"
+  "fault_buffer_test"
+  "fault_buffer_test.pdb"
+  "fault_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

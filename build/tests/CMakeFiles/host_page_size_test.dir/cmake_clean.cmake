@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_page_size_test.dir/host_page_size_test.cpp.o"
+  "CMakeFiles/host_page_size_test.dir/host_page_size_test.cpp.o.d"
+  "host_page_size_test"
+  "host_page_size_test.pdb"
+  "host_page_size_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_page_size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

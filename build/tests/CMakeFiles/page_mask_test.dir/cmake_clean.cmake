@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_mask_test.dir/page_mask_test.cpp.o"
+  "CMakeFiles/page_mask_test.dir/page_mask_test.cpp.o.d"
+  "page_mask_test"
+  "page_mask_test.pdb"
+  "page_mask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

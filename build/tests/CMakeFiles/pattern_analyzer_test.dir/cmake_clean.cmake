@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_analyzer_test.dir/pattern_analyzer_test.cpp.o"
+  "CMakeFiles/pattern_analyzer_test.dir/pattern_analyzer_test.cpp.o.d"
+  "pattern_analyzer_test"
+  "pattern_analyzer_test.pdb"
+  "pattern_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pma_test.dir/pma_test.cpp.o"
+  "CMakeFiles/pma_test.dir/pma_test.cpp.o.d"
+  "pma_test"
+  "pma_test.pdb"
+  "pma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_tree_test.dir/prefetch_tree_test.cpp.o"
+  "CMakeFiles/prefetch_tree_test.dir/prefetch_tree_test.cpp.o.d"
+  "prefetch_tree_test"
+  "prefetch_tree_test.pdb"
+  "prefetch_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_helpers_test.dir/service_helpers_test.cpp.o"
+  "CMakeFiles/service_helpers_test.dir/service_helpers_test.cpp.o.d"
+  "service_helpers_test"
+  "service_helpers_test.pdb"
+  "service_helpers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_helpers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

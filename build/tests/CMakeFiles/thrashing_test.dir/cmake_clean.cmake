@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrashing_test.dir/thrashing_test.cpp.o"
+  "CMakeFiles/thrashing_test.dir/thrashing_test.cpp.o.d"
+  "thrashing_test"
+  "thrashing_test.pdb"
+  "thrashing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrashing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

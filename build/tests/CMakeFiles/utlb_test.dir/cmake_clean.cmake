@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utlb_test.dir/utlb_test.cpp.o"
+  "CMakeFiles/utlb_test.dir/utlb_test.cpp.o.d"
+  "utlb_test"
+  "utlb_test.pdb"
+  "utlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_cli.dir/uvmsim_cli.cpp.o"
+  "CMakeFiles/uvmsim_cli.dir/uvmsim_cli.cpp.o.d"
+  "uvmsim_cli"
+  "uvmsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
