@@ -1,0 +1,70 @@
+// Ablation 13: hazard resilience — how gracefully the driver degrades when
+// the hardware/RM layer misbehaves.
+//
+// Sweeps the deterministic hazard-injection rates (DMA copy failures,
+// transient allocation failures, fault-buffer corruption) on an
+// oversubscribed SGEMM and reports the slowdown alongside the recovery
+// work the driver performed: bounded retries with exponential backoff, DMA
+// engine resets, watchdog rescues, and replay-storm escalations. The claim
+// under test is robustness, not speed: every run must complete, recovery
+// cost must stay a modest share of driver time, and a rate of 0 must be
+// indistinguishable from a build without the hazard subsystem.
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/report.h"
+
+int main() {
+  using namespace uvmsim;
+  using namespace uvmsim::bench;
+
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      1.2 * static_cast<double>(gpu_bytes()));
+  const std::vector<double> rates =
+      fast_mode() ? std::vector<double>{0.0, 0.05}
+                  : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.1};
+
+  Table t({"rate", "kernel_time", "slowdown", "dma_retries", "resets",
+           "pma_retries", "rescues", "storms", "recovery", "recovery_pct"});
+  SimDuration base = 0;
+  SimDuration worst = 0;
+  std::uint64_t recovery_at_zero = 0;
+  std::uint64_t retries_at_max = 0;
+
+  for (double rate : rates) {
+    SimConfig cfg = base_config();
+    cfg.hazards.dma_fail_rate = rate;
+    cfg.hazards.pma_fail_rate = rate;
+    cfg.hazards.fb_corrupt_rate = rate / 2.0;
+    RunResult r = run_workload(cfg, "sgemm", target);
+
+    if (rate == 0.0) {
+      base = r.total_kernel_time();
+      recovery_at_zero = r.profiler.total(CostCategory::ErrorRecovery);
+    }
+    worst = r.total_kernel_time();
+    retries_at_max = r.counters.dma_retries + r.counters.pma_alloc_retries;
+
+    SimDuration recovery = r.profiler.total(CostCategory::ErrorRecovery);
+    SimDuration grand = r.profiler.grand_total();
+    t.add_row({fmt(rate, 3), format_duration(r.total_kernel_time()),
+               fmt(slowdown(base, r.total_kernel_time()), 3) + "x",
+               fmt(r.counters.dma_retries), fmt(r.counters.dma_engine_resets),
+               fmt(r.counters.pma_alloc_retries),
+               fmt(r.counters.watchdog_rescues), fmt(r.counters.replay_storms),
+               format_duration(recovery),
+               fmt(grand == 0 ? 0.0
+                              : 100.0 * static_cast<double>(recovery) /
+                                    static_cast<double>(grand),
+                   3)});
+  }
+  t.print("Ablation 13 — hazard injection: resilience under fault rates "
+          "(sgemm, 120% oversubscription)");
+
+  shape_check("rate 0 performs zero error-recovery work",
+              recovery_at_zero == 0);
+  shape_check("nonzero rates exercise the retry/backoff machinery",
+              retries_at_max > 0);
+  shape_check("degradation is graceful: the worst slowdown stays bounded",
+              worst > base && worst < 50 * base);
+  return 0;
+}

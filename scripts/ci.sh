@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: build and test the plain configuration, then rebuild with
+# AddressSanitizer + UBSan and run the full suite again. Any warning
+# (builds are -Werror), test failure, or sanitizer report fails the script.
+#
+#   scripts/ci.sh [jobs]
+set -euo pipefail
+
+JOBS=${1:-$(nproc)}
+cd "$(dirname "$0")/.."
+
+echo "== plain build =="
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build -j"$JOBS" --output-on-failure
+
+echo "== sanitized build (ASan + UBSan) =="
+cmake -B build-asan -S . -DUVMSIM_SANITIZE=ON
+cmake --build build-asan -j"$JOBS"
+ctest --test-dir build-asan -j"$JOBS" --output-on-failure
+
+echo "== ci: all green =="

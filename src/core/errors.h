@@ -1,0 +1,39 @@
+// Structured error types for the simulator.
+//
+// Two failure classes exist: a configuration the model cannot run
+// (ConfigError — caught before any simulated time elapses, always the
+// caller's fix) and a run that went wrong mid-flight (SimulationError —
+// e.g. a deadlocked event loop, always a model/protocol bug). They derive
+// from std::invalid_argument / std::runtime_error respectively so existing
+// catch sites keep working, while new code (the CLI in particular) can map
+// them to distinct exit codes.
+//
+// ConfigError messages are structured: the offending parameter plus an
+// actionable description of the constraint it violated.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace uvmsim {
+
+class ConfigError : public std::invalid_argument {
+ public:
+  /// `param` names the offending knob (e.g. "Driver.batch_size");
+  /// `problem` states the constraint and, where useful, how to fix it.
+  ConfigError(std::string param, const std::string& problem)
+      : std::invalid_argument(param + ": " + problem),
+        param_(std::move(param)) {}
+
+  [[nodiscard]] const std::string& param() const { return param_; }
+
+ private:
+  std::string param_;
+};
+
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace uvmsim

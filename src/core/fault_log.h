@@ -18,6 +18,7 @@ enum class FaultLogKind : std::uint8_t {
   Fault,     ///< a page fault serviced by the driver
   Prefetch,  ///< a page migrated by the prefetcher (no fault of its own)
   Eviction,  ///< an allocation slice evicted (page = slice's first page)
+  Hazard,    ///< an error-recovery event (degraded remote mapping, storm)
 };
 
 struct FaultLogEntry {

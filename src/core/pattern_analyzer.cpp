@@ -143,7 +143,9 @@ std::string PatternAnalyzer::ascii_scatter(
   for (const auto& p : pts) {
     char c = p.kind == FaultLogKind::Eviction
                  ? 'E'
-                 : (p.kind == FaultLogKind::Prefetch ? '+' : '.');
+                 : (p.kind == FaultLogKind::Prefetch
+                        ? '+'
+                        : (p.kind == FaultLogKind::Hazard ? 'x' : '.'));
     put(p.order, p.adj_page, c);
   }
 

@@ -12,6 +12,7 @@ std::string_view to_string(CostCategory c) {
     case CostCategory::ServiceOther: return "service_other";
     case CostCategory::ReplayPolicy: return "replay_policy";
     case CostCategory::Eviction: return "eviction";
+    case CostCategory::ErrorRecovery: return "error_recovery";
     case CostCategory::kCount: break;
   }
   return "unknown";

@@ -25,6 +25,8 @@ enum class CostCategory : std::uint8_t {
   ServiceOther,    ///< block locking, service state machine overhead
   ReplayPolicy,    ///< issuing replays, fault-buffer flushes
   Eviction,        ///< victim writeback, unmap, restart penalty
+  ErrorRecovery,   ///< hazard recovery: DMA retries/backoff, RM-call
+                   ///< retries, degraded remote mapping, watchdog rescues
   kCount
 };
 

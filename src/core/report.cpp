@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/run_result.h"
+
 namespace uvmsim {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
@@ -75,6 +77,37 @@ std::string fmt(std::uint64_t v) { return std::to_string(v); }
 
 void shape_check(const std::string& claim, bool ok) {
   std::cout << (ok ? "[SHAPE PASS] " : "[SHAPE FAIL] ") << claim << '\n';
+}
+
+Table hazard_report(const RunResult& r) {
+  Table t({"event", "count"});
+  const HazardStats& h = r.hazards;
+  const DriverCounters& c = r.counters;
+  t.add_row({"injected_dma_failures", fmt(h.dma_failures)});
+  t.add_row({"injected_fb_dropped", fmt(h.fb_dropped)});
+  t.add_row({"injected_fb_duplicated", fmt(h.fb_duplicated)});
+  t.add_row({"injected_fb_stalled", fmt(h.fb_stalled)});
+  t.add_row({"injected_pma_failures", fmt(h.pma_failures)});
+  t.add_row({"injected_ac_lost", fmt(h.ac_lost)});
+  t.add_row({"dma_retries", fmt(c.dma_retries)});
+  t.add_row({"dma_runs_retried", fmt(c.dma_runs_retried)});
+  t.add_row({"dma_engine_resets", fmt(c.dma_engine_resets)});
+  t.add_row({"pma_alloc_retries", fmt(c.pma_alloc_retries)});
+  t.add_row({"watchdog_rescues", fmt(c.watchdog_rescues)});
+  t.add_row({"replay_storms", fmt(c.replay_storms)});
+  t.add_row({"storm_flushes", fmt(c.storm_flushes)});
+  t.add_row({"degraded_remote_pages", fmt(c.degraded_remote_pages)});
+  t.add_row({"eviction_victim_unavailable",
+             fmt(c.eviction_victim_unavailable)});
+  const SimDuration recovery =
+      r.profiler.total(CostCategory::ErrorRecovery);
+  const SimDuration grand = r.profiler.grand_total();
+  t.add_row({"error_recovery_us", fmt(static_cast<double>(recovery) / 1e3)});
+  t.add_row({"error_recovery_share",
+             fmt(grand == 0 ? 0.0
+                            : static_cast<double>(recovery) /
+                                  static_cast<double>(grand))});
+  return t;
 }
 
 }  // namespace uvmsim

@@ -12,6 +12,8 @@
 
 namespace uvmsim {
 
+struct RunResult;
+
 class Table {
  public:
   explicit Table(std::vector<std::string> headers);
@@ -42,5 +44,10 @@ class Table {
 /// Prints a PASS/FAIL shape-check verdict line (benches' self-assessment
 /// against the paper's qualitative claims).
 void shape_check(const std::string& claim, bool ok);
+
+/// Hazard-injection / error-recovery summary for a finished run: what was
+/// injected, what the driver did about it, and what recovery cost. Only
+/// meaningful when `r.hazards_enabled`.
+[[nodiscard]] Table hazard_report(const RunResult& r);
 
 }  // namespace uvmsim

@@ -7,6 +7,7 @@
 #include "core/fault_log.h"
 #include "core/profiler.h"
 #include "gpu/gpu_engine.h"
+#include "sim/hazards.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 #include "uvm/counters.h"
@@ -41,6 +42,12 @@ struct RunResult {
   std::uint64_t gpu_capacity_bytes = 0;
   std::uint64_t resident_pages_at_end = 0;
   std::uint64_t wasted_prefetch_at_end = 0;  ///< prefetched, never touched
+
+  // Hazard injection (all zero / false in hazard-free runs).
+  bool hazards_enabled = false;
+  HazardStats hazards;
+  std::uint64_t dma_failed_runs = 0;     ///< DMA runs that needed re-issue
+  std::uint64_t pma_failed_rm_calls = 0; ///< transient RM-call failures
 
   // GPU.
   std::uint64_t utlb_hits = 0;

@@ -1,8 +1,23 @@
 #include "core/simulator.h"
 
-#include <stdexcept>
+#include "core/errors.h"
 
 namespace uvmsim {
+
+namespace {
+
+/// SplitMix64-style finalizer: derives the hazard seed from the master seed
+/// WITHOUT drawing from the simulator's Rng — an extra draw would shift the
+/// GPU/driver/workload streams and break the invariant that hazard-free
+/// runs are bit-identical to runs predating the hazard subsystem.
+std::uint64_t derive_hazard_seed(std::uint64_t master_seed) {
+  std::uint64_t z = master_seed + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 Simulator::Simulator(const SimConfig& cfg)
     : cfg_(cfg),
@@ -13,17 +28,33 @@ Simulator::Simulator(const SimConfig& cfg)
       pma_(cfg.pma),
       link_(cfg.interconnect),
       dma_(cfg.dma, link_) {
+  if (cfg_.hazards.any()) {
+    HazardConfig hc = cfg_.hazards;
+    if (hc.seed == 0) hc.seed = derive_hazard_seed(cfg_.seed);
+    hazards_ = std::make_unique<HazardInjector>(hc);
+    fb_.set_hazard_injector(hazards_.get());
+    pma_.set_hazard_injector(hazards_.get());
+    ac_.set_hazard_injector(hazards_.get());
+    dma_.set_hazard_injector(hazards_.get());
+  }
+
   GpuEngine::Config gcfg = cfg_.gpu;
   gcfg.seed = rng_.next_u64();
   gpu_ = std::make_unique<GpuEngine>(gcfg, eq_, as_, pt_, fb_, ac_, &link_);
 
-  Driver::Deps deps{&eq_, &as_, &pt_, &fb_, gpu_.get(),
-                    &pma_, &dma_, &ac_};
+  Driver::Deps deps{&eq_, &as_,  &pt_,  &fb_, gpu_.get(),
+                    &pma_, &dma_, &ac_, hazards_.get()};
   DriverConfig dcfg = cfg_.driver;
   dcfg.seed = rng_.next_u64();
+  // Hazard runs can drop fault entries and spin up replay storms; the
+  // storm watchdog is part of surviving them.
+  if (hazards_) dcfg.storm.enabled = true;
   driver_ = std::make_unique<Driver>(dcfg, cfg_.costs, deps,
                                      cfg_.enable_fault_log);
   gpu_->set_interrupt_handler([this] { driver_->on_gpu_interrupt(); });
+  if (hazards_) {
+    gpu_->set_fault_drop_handler([this] { driver_->on_fault_dropped(); });
+  }
 }
 
 RangeId Simulator::malloc_managed(std::uint64_t bytes, std::string name,
@@ -51,7 +82,7 @@ RunResult Simulator::run() {
   eq_.run();
 
   if (kernels_completed_ != kernels_.size()) {
-    throw std::runtime_error(
+    throw SimulationError(
         "Simulator deadlock: event queue drained with " +
         std::to_string(kernels_.size() - kernels_completed_) +
         " kernel(s) unfinished (stalled warps without a pending replay?)");
@@ -84,6 +115,13 @@ RunResult Simulator::run() {
   r.resident_pages_at_end = as_.gpu_resident_pages();
   for (std::size_t b = 0; b < as_.num_blocks(); ++b) {
     r.wasted_prefetch_at_end += as_.block(b).prefetched_unused.count();
+  }
+
+  if (hazards_) {
+    r.hazards_enabled = true;
+    r.hazards = hazards_->stats();
+    r.dma_failed_runs = dma_.failed_runs();
+    r.pma_failed_rm_calls = pma_.failed_rm_calls();
   }
 
   r.utlb_hits = gpu_->utlb_hits();

@@ -25,6 +25,7 @@
 #include "mem/page_table.h"
 #include "mem/pma.h"
 #include "sim/event_queue.h"
+#include "sim/hazards.h"
 #include "sim/rng.h"
 #include "uvm/cost_model.h"
 #include "uvm/driver.h"
@@ -41,6 +42,9 @@ struct SimConfig {
   DmaEngine::Config dma;
   DriverConfig driver;
   CostModel costs;
+  /// Deterministic hazard injection (all rates 0 = disabled; a disabled
+  /// injector leaves the run bit-identical to one without the subsystem).
+  HazardConfig hazards;
   /// Record the per-fault trace (disable for very large sweeps).
   bool enable_fault_log = true;
   std::uint64_t seed = 42;
@@ -118,6 +122,10 @@ class Simulator {
   [[nodiscard]] PhysicalMemoryAllocator& pma() { return pma_; }
   [[nodiscard]] Interconnect& interconnect() { return link_; }
   [[nodiscard]] AccessCounters& access_counters() { return ac_; }
+  /// Null unless hazard injection is enabled in the config.
+  [[nodiscard]] const HazardInjector* hazard_injector() const {
+    return hazards_.get();
+  }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
 
@@ -134,6 +142,7 @@ class Simulator {
   SimConfig cfg_;
   EventQueue eq_;
   Rng rng_;
+  std::unique_ptr<HazardInjector> hazards_;
   AddressSpace as_;
   PageTable pt_;
   FaultBuffer fb_;

@@ -11,6 +11,11 @@ void AccessCounters::on_resident_access(VirtPage page, SimTime now) {
   if (++c < cfg_.threshold) return;
   c = 0;
   ++raised_;
+  if (hazards_ != nullptr && hazards_->access_counter_lost(now)) {
+    // Notification lost between the counter unit and the host-visible
+    // queue; the region stays hot and will re-raise after more accesses.
+    return;
+  }
   if (queue_.size() >= cfg_.queue_capacity) {
     ++dropped_;
     return;

@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "mem/constants.h"
+#include "sim/hazards.h"
 #include "sim/time.h"
 
 namespace uvmsim {
@@ -46,6 +47,9 @@ class AccessCounters {
   /// Driver side: drains up to `max_n` notifications.
   std::deque<AccessCounterNotification> drain(std::size_t max_n);
 
+  /// Attaches the hazard injector (null = notifications never get lost).
+  void set_hazard_injector(HazardInjector* h) { hazards_ = h; }
+
   [[nodiscard]] bool enabled() const { return cfg_.enabled; }
   [[nodiscard]] std::uint64_t notifications_raised() const { return raised_; }
   [[nodiscard]] std::uint64_t notifications_dropped() const { return dropped_; }
@@ -53,6 +57,7 @@ class AccessCounters {
 
  private:
   Config cfg_;
+  HazardInjector* hazards_ = nullptr;
   /// key = block * 32 + big_page
   std::unordered_map<std::uint64_t, std::uint32_t> counters_;
   std::deque<AccessCounterNotification> queue_;

@@ -11,8 +11,30 @@ bool FaultBuffer::push(FaultEntry e, SimTime now) {
   }
   e.raised_at = now;
   e.ready_at = now + cfg_.ready_lag;
+  bool duplicate = false;
+  if (hazards_ != nullptr) {
+    switch (hazards_->fb_corruption(now)) {
+      case FbCorruption::Drop:
+        // Entry lost in flight: to the GPU it looks exactly like a
+        // buffer-full drop (the warp stays parked and re-faults on replay).
+        ++dropped_;
+        return false;
+      case FbCorruption::Duplicate:
+        duplicate = true;
+        break;
+      case FbCorruption::StallReady:
+        e.ready_at += hazards_->config().fb_stall_extra;
+        break;
+      case FbCorruption::None:
+        break;
+    }
+  }
   q_.push_back(e);
   ++pushed_;
+  if (duplicate && !full()) {
+    q_.push_back(e);
+    ++pushed_;
+  }
   max_occupancy_ = std::max(max_occupancy_, q_.size());
   return true;
 }

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "gpu/fault.h"
+#include "sim/hazards.h"
 
 namespace uvmsim {
 
@@ -27,8 +28,12 @@ class FaultBuffer {
   explicit FaultBuffer(const Config& cfg) : cfg_(cfg) {}
 
   /// Attempts to append a fault at time `now`. Returns false (and counts a
-  /// drop) if the buffer is full.
+  /// drop) if the buffer is full or an injected hazard loses the entry; a
+  /// hazard may also duplicate the entry or stall its ready flag.
   bool push(FaultEntry e, SimTime now);
+
+  /// Attaches the hazard injector (null = entries are never corrupted).
+  void set_hazard_injector(HazardInjector* h) { hazards_ = h; }
 
   /// Pops the oldest entry, if any. The driver pays a poll penalty when
   /// now < entry.ready_at; that cost lives in the driver's cost model — this
@@ -57,6 +62,7 @@ class FaultBuffer {
 
  private:
   Config cfg_;
+  HazardInjector* hazards_ = nullptr;
   std::deque<FaultEntry> q_;
   std::uint64_t pushed_ = 0;
   std::uint64_t dropped_ = 0;

@@ -218,6 +218,8 @@ void GpuEngine::step_warp(WarpRef ref) {
       ++ks.faults_raised;
       pending_faults_.insert(pending_key);
       ++sm_outstanding_faults_[w.sm];
+    } else if (fault_dropped_) {
+      fault_dropped_();
     }
   }
 

@@ -129,6 +129,14 @@ class GpuEngine {
     interrupt_ = std::move(h);
   }
 
+  /// Installs the handler invoked whenever a fault entry fails to reach the
+  /// buffer (overflow or injected corruption). The driver uses it to arm a
+  /// stall watchdog: a lost entry can leave a warp parked with no pending
+  /// replay, which would otherwise deadlock the run.
+  void set_fault_drop_handler(std::function<void()> h) {
+    fault_dropped_ = std::move(h);
+  }
+
   /// True while any kernel is active or queued.
   [[nodiscard]] bool busy() const;
   /// True if any warp of any running kernel is parked on a fault.
@@ -209,6 +217,7 @@ class GpuEngine {
   std::vector<WarpRef> stalled_;
 
   std::function<void()> interrupt_;
+  std::function<void()> fault_dropped_;
   std::vector<KernelStats> stats_;
   std::uint64_t next_fault_id_ = 0;
   std::uint64_t utlb_hits_ = 0;

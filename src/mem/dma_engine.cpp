@@ -4,16 +4,26 @@
 
 namespace uvmsim {
 
-SimTime DmaEngine::copy_runs(Direction dir, SimTime earliest,
-                             std::span<const std::uint64_t> run_bytes) {
+DmaEngine::CopyResult DmaEngine::copy_runs(
+    Direction dir, SimTime earliest, std::span<const std::uint64_t> run_bytes) {
+  CopyResult res;
   SimTime t = earliest;
   for (std::uint64_t bytes : run_bytes) {
     if (bytes == 0) continue;
     t += cfg_.staging_per_run + cfg_.op_setup;
+    if (hazards_ != nullptr && hazards_->dma_copy_fails(t)) {
+      // Copy-engine fault: the run never reaches the interconnect, so byte
+      // accounting stays exact; the driver re-issues it after backoff.
+      t += cfg_.fail_detect;
+      res.failed_run_bytes.push_back(bytes);
+      ++failed_runs_;
+      continue;
+    }
     t = link_->reserve(dir, t, bytes);
     ++copy_ops_;
   }
-  return t;
+  res.done = t;
+  return res;
 }
 
 SimTime DmaEngine::zero_fill(SimTime earliest, std::uint64_t bytes) {

@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "mem/interconnect.h"
+#include "sim/hazards.h"
 #include "sim/time.h"
 
 namespace uvmsim {
@@ -28,21 +30,38 @@ class DmaEngine {
     double zero_bandwidth_Bps = 500.0e9;
     /// Host-side staging cost per run (pinning/staging buffer bookkeeping).
     SimDuration staging_per_run = 1 * kMicrosecond;
+    /// Time to detect a failed run (engine fault interrupt + channel
+    /// inspection) before reporting it to the driver.
+    SimDuration fail_detect = 5 * kMicrosecond;
+  };
+
+  /// Outcome of one copy_runs() call. A failed run consumed its setup and
+  /// staging cost plus fail_detect but never touched the interconnect —
+  /// byte accounting only reflects runs that actually transferred. The
+  /// caller (the driver) must re-issue failed_run_bytes.
+  struct CopyResult {
+    SimTime done = 0;  ///< completion time of the last attempted run
+    std::vector<std::uint64_t> failed_run_bytes;
+    [[nodiscard]] bool ok() const { return failed_run_bytes.empty(); }
   };
 
   DmaEngine(const Config& cfg, Interconnect& link) : cfg_(cfg), link_(&link) {}
 
   /// Copies a batch of contiguous runs in one direction. The copy is ready to
-  /// start at `earliest`; runs are issued back to back. Returns the
-  /// completion time of the last run.
-  SimTime copy_runs(Direction dir, SimTime earliest,
-                    std::span<const std::uint64_t> run_bytes);
+  /// start at `earliest`; runs are issued back to back. Individual runs may
+  /// fail when a HazardInjector is attached; the result lists them.
+  CopyResult copy_runs(Direction dir, SimTime earliest,
+                       std::span<const std::uint64_t> run_bytes);
 
   /// Zero-fills `bytes` of GPU memory; purely device-side. Returns
   /// completion time.
   SimTime zero_fill(SimTime earliest, std::uint64_t bytes);
 
+  /// Attaches the hazard injector (null = no injected failures).
+  void set_hazard_injector(HazardInjector* h) { hazards_ = h; }
+
   [[nodiscard]] std::uint64_t copy_ops() const { return copy_ops_; }
+  [[nodiscard]] std::uint64_t failed_runs() const { return failed_runs_; }
   [[nodiscard]] std::uint64_t zero_bytes() const { return zero_bytes_; }
   [[nodiscard]] Interconnect& link() { return *link_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
@@ -50,7 +69,9 @@ class DmaEngine {
  private:
   Config cfg_;
   Interconnect* link_;
+  HazardInjector* hazards_ = nullptr;
   std::uint64_t copy_ops_ = 0;
+  std::uint64_t failed_runs_ = 0;
   std::uint64_t zero_bytes_ = 0;
 };
 

@@ -2,24 +2,36 @@
 
 #include <algorithm>
 
+#include "core/errors.h"
+
 namespace uvmsim {
 
 PhysicalMemoryAllocator::PhysicalMemoryAllocator(const Config& cfg) : cfg_(cfg) {
   if (cfg_.chunk_bytes == 0 || cfg_.capacity_bytes < cfg_.chunk_bytes) {
-    throw std::invalid_argument("PMA: capacity smaller than one chunk");
+    throw ConfigError("PMA.capacity_bytes",
+                      "must hold at least one chunk — raise capacity_bytes "
+                      "or shrink chunk_bytes");
   }
   if (cfg_.slab_chunks == 0) {
-    throw std::invalid_argument("PMA: slab_chunks must be >= 1");
+    throw ConfigError("PMA.slab_chunks", "must be >= 1");
   }
   total_chunks_ = cfg_.capacity_bytes / cfg_.chunk_bytes;
 }
 
-PhysicalMemoryAllocator::AllocResult PhysicalMemoryAllocator::alloc_chunk() {
+PhysicalMemoryAllocator::AllocResult PhysicalMemoryAllocator::alloc_chunk(
+    SimTime now) {
   AllocResult res;
   if (cached_ == 0) {
     // Cache empty: go to RM for a slab (clamped to remaining capacity).
     std::uint64_t remaining = total_chunks_ - in_use_;
     if (remaining == 0) return res;  // exhausted -> eviction required
+    if (hazards_ != nullptr && hazards_->pma_transient_failure(now)) {
+      // The round trip happened but produced nothing; the caller should
+      // back off and retry rather than evict.
+      ++failed_rm_calls_;
+      res.transient = true;
+      return res;
+    }
     std::uint64_t grab = std::min<std::uint64_t>(cfg_.slab_chunks, remaining);
     cached_ = grab;
     ++rm_calls_;

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
+
+#include "sim/hazards.h"
+#include "sim/time.h"
 
 namespace uvmsim {
 
@@ -29,14 +31,20 @@ class PhysicalMemoryAllocator {
   /// Result of an allocation attempt.
   struct AllocResult {
     bool ok = false;          ///< chunk handed out
+    bool transient = false;   ///< RM call failed transiently; back off, retry
     std::uint32_t rm_calls = 0;  ///< RM round trips performed (0 on cache hit)
   };
 
   explicit PhysicalMemoryAllocator(const Config& cfg);
 
-  /// Tries to allocate one root chunk. On capacity exhaustion returns
-  /// ok=false and the caller must evict and retry.
-  AllocResult alloc_chunk();
+  /// Tries to allocate one root chunk at simulated time `now`. On capacity
+  /// exhaustion returns ok=false (the caller must evict and retry); with a
+  /// hazard injector attached the RM call may instead fail transiently
+  /// (ok=false, transient=true — back off and retry, no eviction needed).
+  AllocResult alloc_chunk(SimTime now = 0);
+
+  /// Attaches the hazard injector (null = RM calls never fail).
+  void set_hazard_injector(HazardInjector* h) { hazards_ = h; }
 
   /// Returns one chunk to the free cache (eviction completed).
   void free_chunk();
@@ -51,6 +59,10 @@ class PhysicalMemoryAllocator {
   [[nodiscard]] std::uint64_t total_chunks() const { return total_chunks_; }
   /// Cumulative RM calls (each one costs cost_model.pma_rm_call).
   [[nodiscard]] std::uint64_t rm_calls() const { return rm_calls_; }
+  /// RM calls that failed transiently (injected hazards; not in rm_calls()).
+  [[nodiscard]] std::uint64_t failed_rm_calls() const {
+    return failed_rm_calls_;
+  }
   /// Cumulative chunk allocations served (cache hits + RM-backed).
   [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
 
@@ -61,10 +73,12 @@ class PhysicalMemoryAllocator {
 
  private:
   Config cfg_;
+  HazardInjector* hazards_ = nullptr;
   std::uint64_t total_chunks_;
   std::uint64_t in_use_ = 0;
   std::uint64_t cached_ = 0;
   std::uint64_t rm_calls_ = 0;
+  std::uint64_t failed_rm_calls_ = 0;
   std::uint64_t allocs_ = 0;
 };
 

@@ -1,0 +1,77 @@
+#include "sim/hazards.h"
+
+#include "core/errors.h"
+
+namespace uvmsim {
+
+namespace {
+
+void check_rate(const char* name, double rate) {
+  if (!(rate >= 0.0) || rate >= 1.0) {
+    throw ConfigError(name,
+                      "must be in [0, 1) — at a rate of 1 every retry would "
+                      "fail and the recovery loops could not terminate");
+  }
+}
+
+}  // namespace
+
+HazardInjector::HazardInjector(const HazardConfig& cfg) : cfg_(cfg) {
+  check_rate("HazardConfig.dma_fail_rate", cfg_.dma_fail_rate);
+  check_rate("HazardConfig.fb_corrupt_rate", cfg_.fb_corrupt_rate);
+  check_rate("HazardConfig.pma_fail_rate", cfg_.pma_fail_rate);
+  check_rate("HazardConfig.ac_drop_rate", cfg_.ac_drop_rate);
+  if (cfg_.window_end != 0 && cfg_.window_end <= cfg_.window_start) {
+    throw ConfigError("HazardConfig.window_end",
+                      "must be 0 (open-ended) or greater than window_start");
+  }
+  Rng root(cfg_.seed);
+  dma_rng_ = root.fork();
+  fb_rng_ = root.fork();
+  pma_rng_ = root.fork();
+  ac_rng_ = root.fork();
+}
+
+bool HazardInjector::dma_copy_fails(SimTime now) {
+  if (cfg_.dma_fail_rate <= 0.0 || !in_window(now)) return false;
+  if (dma_rng_.next_double() >= cfg_.dma_fail_rate) return false;
+  ++stats_.dma_failures;
+  return true;
+}
+
+FbCorruption HazardInjector::fb_corruption(SimTime now) {
+  if (cfg_.fb_corrupt_rate <= 0.0 || !in_window(now)) {
+    return FbCorruption::None;
+  }
+  double u = fb_rng_.next_double();
+  if (u >= cfg_.fb_corrupt_rate) return FbCorruption::None;
+  // One draw decides both whether and how: the corrupted probability mass
+  // partitions into three equal kinds.
+  double kind = u / cfg_.fb_corrupt_rate * 3.0;
+  if (kind < 1.0) {
+    ++stats_.fb_dropped;
+    return FbCorruption::Drop;
+  }
+  if (kind < 2.0) {
+    ++stats_.fb_duplicated;
+    return FbCorruption::Duplicate;
+  }
+  ++stats_.fb_stalled;
+  return FbCorruption::StallReady;
+}
+
+bool HazardInjector::pma_transient_failure(SimTime now) {
+  if (cfg_.pma_fail_rate <= 0.0 || !in_window(now)) return false;
+  if (pma_rng_.next_double() >= cfg_.pma_fail_rate) return false;
+  ++stats_.pma_failures;
+  return true;
+}
+
+bool HazardInjector::access_counter_lost(SimTime now) {
+  if (cfg_.ac_drop_rate <= 0.0 || !in_window(now)) return false;
+  if (ac_rng_.next_double() >= cfg_.ac_drop_rate) return false;
+  ++stats_.ac_lost;
+  return true;
+}
+
+}  // namespace uvmsim

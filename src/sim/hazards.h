@@ -1,0 +1,120 @@
+// Deterministic hazard injection.
+//
+// The paper's measurements assume the happy path: every fault entry arrives
+// intact, every DMA transfer succeeds, and a physical chunk (or an eviction
+// victim) always exists. The real driver spends substantial code on the
+// unhappy paths — buffer-overflow re-faults, RM call failures, copy-engine
+// faults — and behaviour under those conditions shapes end-to-end UVM cost
+// in the oversubscribed regime. The HazardInjector makes those paths
+// reachable on demand: it flips deterministic, seeded coins for each
+// injection point at configurable rates, optionally restricted to a
+// simulated-time window.
+//
+// Determinism contract: each hazard class owns a private forked Rng stream,
+// so enabling one class never perturbs another's decision sequence, and a
+// rate of exactly 0 never draws at all — a run with every rate at 0 is
+// bit-identical to a run without the injector.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace uvmsim {
+
+/// Injection rates and window. All rates are per-decision probabilities in
+/// [0, 1); a rate of 0 (the default) disables that hazard class entirely.
+struct HazardConfig {
+  /// Injector seed. 0 means "derive from the master seed" (the Simulator
+  /// mixes SimConfig::seed without drawing from its own Rng, so hazard-free
+  /// runs are unaffected by the derivation).
+  std::uint64_t seed = 0;
+
+  /// Probability that a programmed DMA run fails before reserving the
+  /// interconnect (copy-engine fault; the driver retries with backoff).
+  double dma_fail_rate = 0.0;
+  /// Probability that a fault-buffer entry is corrupted in flight. The
+  /// corrupted mass splits evenly into dropped, duplicated, and
+  /// ready-flag-stalled entries.
+  double fb_corrupt_rate = 0.0;
+  /// Probability that a PMA resource-manager call fails transiently (the
+  /// driver backs off and retries before falling back to eviction).
+  double pma_fail_rate = 0.0;
+  /// Probability that a raised access-counter notification is lost before
+  /// reaching the host-visible queue.
+  double ac_drop_rate = 0.0;
+
+  /// Injection window [window_start, window_end) in simulated time;
+  /// window_end == 0 means open-ended.
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+
+  /// Extra ready-flag lag applied to a StallReady-corrupted entry, beyond
+  /// the buffer's normal ready_lag (exercises the driver's poll path).
+  SimDuration fb_stall_extra = 20 * kMicrosecond;
+
+  /// True when any rate is set (including invalid negative/NaN values, so
+  /// the injector gets constructed and its validation rejects them).
+  [[nodiscard]] bool any() const {
+    return dma_fail_rate != 0.0 || fb_corrupt_rate != 0.0 ||
+           pma_fail_rate != 0.0 || ac_drop_rate != 0.0;
+  }
+};
+
+/// How one fault-buffer entry is corrupted (None = delivered intact).
+enum class FbCorruption : std::uint8_t { None, Drop, Duplicate, StallReady };
+
+/// Cumulative injection counts, snapshotted into the RunResult.
+struct HazardStats {
+  std::uint64_t dma_failures = 0;    ///< DMA runs failed before transfer
+  std::uint64_t fb_dropped = 0;      ///< fault entries lost in flight
+  std::uint64_t fb_duplicated = 0;   ///< fault entries delivered twice
+  std::uint64_t fb_stalled = 0;      ///< entries with a stalled ready flag
+  std::uint64_t pma_failures = 0;    ///< transient RM call failures
+  std::uint64_t ac_lost = 0;         ///< access-counter notifications lost
+
+  [[nodiscard]] std::uint64_t total() const {
+    return dma_failures + fb_dropped + fb_duplicated + fb_stalled +
+           pma_failures + ac_lost;
+  }
+};
+
+class HazardInjector {
+ public:
+  /// Validates rates (each must lie in [0, 1) — at 1 the recovery loops
+  /// could retry forever) and forks one Rng stream per hazard class.
+  /// Throws ConfigError on invalid rates or an inverted window.
+  explicit HazardInjector(const HazardConfig& cfg);
+
+  [[nodiscard]] bool enabled() const { return cfg_.any(); }
+  [[nodiscard]] const HazardConfig& config() const { return cfg_; }
+  [[nodiscard]] const HazardStats& stats() const { return stats_; }
+
+  // Decision points — each draws from its own stream, and only when its
+  // rate is nonzero and `now` lies inside the injection window.
+
+  /// Should the DMA run being programmed at `now` fail?
+  bool dma_copy_fails(SimTime now);
+  /// How is the fault-buffer entry pushed at `now` corrupted, if at all?
+  FbCorruption fb_corruption(SimTime now);
+  /// Should the RM call at `now` fail transiently?
+  bool pma_transient_failure(SimTime now);
+  /// Should the access-counter notification raised at `now` be lost?
+  bool access_counter_lost(SimTime now);
+
+ private:
+  [[nodiscard]] bool in_window(SimTime now) const {
+    return now >= cfg_.window_start &&
+           (cfg_.window_end == 0 || now < cfg_.window_end);
+  }
+
+  HazardConfig cfg_;
+  HazardStats stats_;
+  Rng dma_rng_{0};
+  Rng fb_rng_{0};
+  Rng pma_rng_{0};
+  Rng ac_rng_{0};
+};
+
+}  // namespace uvmsim

@@ -45,6 +45,17 @@ struct DriverCounters {
   // --- thrashing mitigation ---
   std::uint64_t thrash_pinned_pages = 0;   ///< faults served by pin/remote map
   std::uint64_t thrash_throttles = 0;      ///< throttled block services
+
+  // --- hazard recovery (all zero in hazard-free runs) ---
+  std::uint64_t dma_retries = 0;           ///< failed-copy retry rounds
+  std::uint64_t dma_runs_retried = 0;      ///< individual runs re-issued
+  std::uint64_t dma_engine_resets = 0;     ///< escalations after a failed round
+  std::uint64_t pma_alloc_retries = 0;     ///< transient RM-failure retries
+  std::uint64_t watchdog_rescues = 0;      ///< forced replays for lost faults
+  std::uint64_t replay_storms = 0;         ///< storm-watchdog escalations
+  std::uint64_t storm_flushes = 0;         ///< buffer flushes forced by storms
+  std::uint64_t degraded_remote_pages = 0; ///< remote-mapped for lack of victim
+  std::uint64_t eviction_victim_unavailable = 0;  ///< no-victim alloc failures
 };
 
 }  // namespace uvmsim

@@ -1,8 +1,9 @@
 #include "uvm/driver.h"
 
 #include <algorithm>
-#include <stdexcept>
+#include <vector>
 
+#include "core/errors.h"
 #include "uvm/access_counter_eviction.h"
 #include "uvm/eviction_lru.h"
 #include "uvm/prefetcher.h"
@@ -14,18 +15,22 @@ Driver::Driver(const DriverConfig& cfg, const CostModel& cm, const Deps& deps,
                bool enable_fault_log)
     : cfg_(cfg), cm_(cm), d_(deps), log_(enable_fault_log) {
   if (cfg_.batch_size == 0) {
-    throw std::invalid_argument("Driver: batch_size must be >= 1");
+    throw ConfigError("Driver.batch_size",
+                      "must be >= 1 — the driver fetches at least one fault "
+                      "per pass");
   }
   if (cfg_.alloc_granularity_bytes == 0 ||
       cfg_.alloc_granularity_bytes % kPageSize != 0 ||
       kVaBlockSize % cfg_.alloc_granularity_bytes != 0) {
-    throw std::invalid_argument(
-        "Driver: alloc_granularity must divide 2 MB and be page-aligned");
+    throw ConfigError("Driver.alloc_granularity_bytes",
+                      "must be a page-aligned divisor of the 2 MB VABlock "
+                      "(e.g. 64 KiB, 256 KiB, 2 MiB)");
   }
   if (cfg_.base_page_pages == 0 ||
       kPagesPerBlock % cfg_.base_page_pages != 0) {
-    throw std::invalid_argument(
-        "Driver: base_page_pages must divide the 512-page VABlock");
+    throw ConfigError("Driver.base_page_pages",
+                      "must divide the 512-page VABlock (1 = x86 4 KB pages, "
+                      "16 = Power9 64 KB pages)");
   }
   switch (cfg_.eviction_policy) {
     case EvictionPolicyKind::Lru:
@@ -87,12 +92,12 @@ void Driver::run_pass() {
     // --- service, one VABlock bin at a time ---
     for (const auto& bin : batch.bins) {
       t = service_bin(bin, t);
-      if (cfg_.replay_policy == ReplayPolicyKind::Block) {
+      if (effective_replay_policy(t) == ReplayPolicyKind::Block) {
         t = issue_replay(t);
       }
     }
     // --- end-of-batch replay policy ---
-    switch (cfg_.replay_policy) {
+    switch (effective_replay_policy(t)) {
       case ReplayPolicyKind::Block:
         break;  // replays already issued per block
       case ReplayPolicyKind::Batch:
@@ -140,6 +145,16 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
   PageMask stale = bin.faulted & mapped;
   PageMask need = bin.faulted.and_not(mapped);
   counters_.stale_faults += stale.count();
+
+  if (cfg_.storm.enabled) {
+    // Stale faults and intra-bin duplicates are the re-fault signature a
+    // replay storm leaves; feed them to the watchdog.
+    std::uint64_t refaults =
+        stale.count() + (bin.fault_entries > bin.faulted.count()
+                             ? bin.fault_entries - bin.faulted.count()
+                             : 0);
+    if (refaults > 0) t = storm_observe(blk.id, refaults, t);
+  }
 
   counters_.faults_serviced += need.count();
 
@@ -230,7 +245,38 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
 
   // --- physical backing (may evict, may restart) ---
   bool restarted = false;
-  t = ensure_backing(blk, to_populate, t, restarted);
+  PageMask unbacked;
+  t = ensure_backing(blk, to_populate, t, restarted, unbacked);
+
+  if (unbacked.any()) {
+    // Graceful degradation: some slices could not be backed because no
+    // eviction victim was eligible. Instead of failing the run, serve the
+    // faulted pages via remote (host) mapping — slower but correct — and
+    // drop the prefetch candidates on those slices.
+    PageMask degraded = need & unbacked;
+    to_populate = to_populate.and_not(unbacked);
+    prefetch = prefetch.and_not(unbacked);
+    need = need.and_not(unbacked);
+    if (degraded.any()) {
+      SimTime tr = t;
+      d_.pt->map_remote(blk, degraded);
+      t += cm_.map_membar + static_cast<SimDuration>(degraded.count()) *
+                                cm_.map_per_page;
+      counters_.degraded_remote_pages += degraded.count();
+      prof_.add(CostCategory::ErrorRecovery, t - tr);
+      if (log_.enabled()) {
+        for (std::uint32_t i : degraded.set_indices()) {
+          log_.record(FaultLogEntry{0, t, FaultLogKind::Hazard,
+                                    blk.first_page + i, blk.id, blk.range,
+                                    false});
+        }
+      }
+    }
+    if (to_populate.none()) {
+      blk.service_locked = false;
+      return t;
+    }
+  }
 
   // --- zero-fill never-populated pages (data born on the GPU) ---
   PageMask zero = to_populate.and_not(blk.ever_populated);
@@ -246,18 +292,20 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
   PageMask migrate = to_populate & blk.cpu_resident & blk.ever_populated;
   if (migrate.any()) {
     t0 = t;
+    SimDuration recovery = 0;
     auto run_bytes = runs_to_bytes(migrate.runs());
     if (cfg_.pipelined_migrations) {
       // Issue asynchronously: the cursor advances only by the CPU-side
       // submission cost; the copy's completion gates the next replay.
-      SimTime done =
-          d_.dma->copy_runs(Direction::HostToDevice, t, run_bytes);
+      SimTime done = robust_copy(Direction::HostToDevice, t, run_bytes).done;
       migrations_inflight_until_ =
           std::max(migrations_inflight_until_, done);
       t += static_cast<SimDuration>(run_bytes.size()) *
            cm_.migrate_issue_per_run;
     } else {
-      t = d_.dma->copy_runs(Direction::HostToDevice, t, run_bytes);
+      CopyOutcome rc = robust_copy(Direction::HostToDevice, t, run_bytes);
+      t = rc.done;
+      recovery = rc.recovery;
     }
     if (advise.read_mostly &&
         bin.strongest_access == FaultAccessType::Read) {
@@ -269,7 +317,7 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
       blk.cpu_resident &= ~migrate;  // paged migration unmaps the source
     }
     counters_.pages_migrated_h2d += migrate.count();
-    prof_.add(CostCategory::ServiceMigrate, t - t0);
+    prof_.add(CostCategory::ServiceMigrate, (t - t0) - recovery);
   }
 
   // --- map everything we populated ---
@@ -298,11 +346,14 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
 }
 
 SimTime Driver::ensure_backing(VaBlock& blk, const PageMask& to_populate,
-                               SimTime t, bool& restarted) {
+                               SimTime t, bool& restarted,
+                               PageMask& unbacked) {
   for (std::uint32_t s : touched_slices(to_populate, cfg_.pages_per_slice())) {
     if (blk.backed_slices.test(s)) continue;
+    bool backed = true;
+    std::uint32_t transient_failures = 0;
     for (;;) {
-      auto res = d_.pma->alloc_chunk();
+      auto res = d_.pma->alloc_chunk(t);
       if (res.ok) {
         SimDuration cost = cm_.pma_cached_alloc;
         if (res.rm_calls > 0) {
@@ -317,14 +368,38 @@ SimTime Driver::ensure_backing(VaBlock& blk, const PageMask& to_populate,
         prof_.add(CostCategory::ServicePmaAlloc, cost);
         break;
       }
+      if (res.transient) {
+        // Transient RM failure (injected hazard): exponential backoff with
+        // a capped exponent, then retry the call.
+        std::uint32_t shift =
+            std::min(transient_failures, cfg_.recovery.pma_backoff_cap);
+        SimDuration backoff = cfg_.recovery.pma_backoff_base << shift;
+        t += backoff;
+        prof_.add(CostCategory::ErrorRecovery, backoff);
+        ++counters_.pma_alloc_retries;
+        ++transient_failures;
+        continue;
+      }
       // Exhausted: evict and retry. Every eviction drops the faulting
       // block's lock while the victim is held, restarting this fault path
       // (§V-A2) — the penalty recurs per eviction.
-      t = evict_victim(t, blk.id);
+      if (!evict_victim(t, blk.id)) {
+        // No eligible victim (every resident slice belongs to the faulting
+        // block or a locked one): leave the slice unbacked and let the
+        // caller degrade its pages to remote mapping.
+        ++counters_.eviction_victim_unavailable;
+        backed = false;
+        break;
+      }
       restarted = true;
       t += cm_.service_restart;
       prof_.add(CostCategory::Eviction, cm_.service_restart);
       ++counters_.service_restarts;
+    }
+    if (!backed) {
+      unbacked |=
+          slice_mask(s, cfg_.pages_per_slice(), blk.num_pages) & to_populate;
+      continue;
     }
     blk.backed_slices.set(s);
     eviction_->on_slice_allocated(SliceKey{blk.id, s});
@@ -332,7 +407,7 @@ SimTime Driver::ensure_backing(VaBlock& blk, const PageMask& to_populate,
   return t;
 }
 
-SimTime Driver::evict_victim(SimTime t, VaBlockId faulting_block) {
+bool Driver::evict_victim(SimTime& t, VaBlockId faulting_block) {
   auto base_ok = [&](SliceKey k) {
     if (k.block == faulting_block) return false;
     return !d_.as->block(k.block).service_locked;
@@ -346,13 +421,10 @@ SimTime Driver::evict_victim(SimTime t, VaBlockId faulting_block) {
   };
   std::optional<SliceKey> v = eviction_->pick_victim(not_preferred);
   if (!v) v = eviction_->pick_victim(base_ok);
-  if (!v) {
-    throw std::runtime_error(
-        "UVM eviction: no eligible victim — GPU memory too small for the "
-        "active working set");
-  }
+  if (!v) return false;  // caller degrades to remote mapping
 
   SimTime t0 = t;
+  SimDuration recovery = 0;
   VaBlock& vb = d_.as->block(v->block);
   PageMask smask = slice_mask(v->slice, cfg_.pages_per_slice(), vb.num_pages);
   PageMask resident = vb.gpu_resident & smask;
@@ -364,8 +436,10 @@ SimTime Driver::evict_victim(SimTime t, VaBlockId faulting_block) {
   PageMask writeback = resident.and_not(vb.cpu_resident);
   counters_.writebacks_avoided += resident.count() - writeback.count();
   if (writeback.any()) {
-    t = d_.dma->copy_runs(Direction::DeviceToHost, t,
-                          runs_to_bytes(writeback.runs()));
+    CopyOutcome rc = robust_copy(Direction::DeviceToHost, t,
+                                 runs_to_bytes(writeback.runs()));
+    t = rc.done;
+    recovery = rc.recovery;
   }
   counters_.pages_evicted += writeback.count();
   counters_.prefetched_evicted_unused +=
@@ -393,8 +467,8 @@ SimTime Driver::evict_victim(SimTime t, VaBlockId faulting_block) {
         vb.first_page + v->slice * cfg_.pages_per_slice(), vb.id, vb.range,
         false});
   }
-  prof_.add(CostCategory::Eviction, t - t0);
-  return t;
+  prof_.add(CostCategory::Eviction, (t - t0) - recovery);
+  return true;
 }
 
 SimTime Driver::service_cpu_access(VirtPage first, std::uint64_t npages,
@@ -416,10 +490,13 @@ SimTime Driver::service_cpu_access(VirtPage first, std::uint64_t npages,
     if (gpu_only.none() && !write) continue;
 
     SimTime t0 = t;
+    SimDuration recovery = 0;
     if (gpu_only.any()) {
       t += cm_.service_block_overhead;  // CPU fault handling bookkeeping
-      t = d_.dma->copy_runs(Direction::DeviceToHost, t,
-                            runs_to_bytes(gpu_only.runs()));
+      CopyOutcome rc = robust_copy(Direction::DeviceToHost, t,
+                                   runs_to_bytes(gpu_only.runs()));
+      t = rc.done;
+      recovery = rc.recovery;
       blk.cpu_resident |= gpu_only;
       counters_.cpu_faults_serviced += gpu_only.count();
     }
@@ -436,7 +513,7 @@ SimTime Driver::service_cpu_access(VirtPage first, std::uint64_t npages,
       }
       blk.ever_populated |= window;
     }
-    prof_.add(CostCategory::ServiceMigrate, t - t0);
+    prof_.add(CostCategory::ServiceMigrate, (t - t0) - recovery);
   }
   return t;
 }
@@ -463,15 +540,26 @@ SimTime Driver::prefetch_pages(VirtPage first, std::uint64_t npages) {
 
     blk.service_locked = true;
     bool restarted = false;
-    t = ensure_backing(blk, to_move, t, restarted);
+    PageMask unbacked;
+    t = ensure_backing(blk, to_move, t, restarted, unbacked);
+    if (unbacked.any()) {
+      // Bulk prefetch is advisory: pages on slices that cannot be backed
+      // (no eligible victim) are simply skipped.
+      to_move = to_move.and_not(unbacked);
+      if (to_move.none()) {
+        blk.service_locked = false;
+        continue;
+      }
+    }
 
     SimTime t0 = t;
-    t = d_.dma->copy_runs(Direction::HostToDevice, t,
-                          runs_to_bytes(to_move.runs()));
+    CopyOutcome rc = robust_copy(Direction::HostToDevice, t,
+                                 runs_to_bytes(to_move.runs()));
+    t = rc.done;
     blk.cpu_resident &= ~to_move;
     counters_.pages_migrated_h2d += to_move.count();
     counters_.prefetch_async_pages += to_move.count();
-    prof_.add(CostCategory::ServiceMigrate, t - t0);
+    prof_.add(CostCategory::ServiceMigrate, (t - t0) - rc.recovery);
 
     t0 = t;
     d_.pt->map_pages(blk, to_move);
@@ -540,20 +628,33 @@ SimTime Driver::promote_hot_region(const AccessCounterNotification& n,
 
   blk.service_locked = true;
   bool restarted = false;
-  t = ensure_backing(blk, remote, t, restarted);
+  PageMask unbacked;
+  t = ensure_backing(blk, remote, t, restarted, unbacked);
+  if (unbacked.any()) {
+    // Promotion is opportunistic: hot pages whose slices cannot be backed
+    // stay remote-mapped and may promote later.
+    remote = remote.and_not(unbacked);
+    if (remote.none()) {
+      blk.service_locked = false;
+      return t;
+    }
+  }
 
   SimTime t0 = t;
+  SimDuration recovery = 0;
   // Drop the remote view, migrate the data local, and re-map resident (the
   // PTE rewrite + membar are charged with the map below).
   blk.remote_mapped &= ~remote;
   PageMask migrate = remote & blk.cpu_resident & blk.ever_populated;
   if (migrate.any()) {
-    t = d_.dma->copy_runs(Direction::HostToDevice, t,
-                          runs_to_bytes(migrate.runs()));
+    CopyOutcome rc = robust_copy(Direction::HostToDevice, t,
+                                 runs_to_bytes(migrate.runs()));
+    t = rc.done;
+    recovery = rc.recovery;
     blk.cpu_resident &= ~migrate;
     counters_.pages_migrated_h2d += migrate.count();
   }
-  prof_.add(CostCategory::ServiceMigrate, t - t0);
+  prof_.add(CostCategory::ServiceMigrate, (t - t0) - recovery);
 
   t0 = t;
   d_.pt->map_pages(blk, remote);
@@ -568,6 +669,109 @@ SimTime Driver::promote_hot_region(const AccessCounterNotification& n,
   }
   blk.service_locked = false;
   return t;
+}
+
+Driver::CopyOutcome Driver::robust_copy(
+    Direction dir, SimTime t, std::span<const std::uint64_t> run_bytes) {
+  DmaEngine::CopyResult res = d_.dma->copy_runs(dir, t, run_bytes);
+  if (res.ok()) return {res.done, 0};  // fast path: hazard-free arithmetic
+
+  // Bounded retry with exponential backoff. After dma_max_retries failed
+  // rounds the copy engine is reset and the retry budget renews, so the
+  // copy always eventually completes (fail rates are validated < 1).
+  // Everything from the first failure report onward — backoffs, resets,
+  // and the re-issued transfers themselves — is recovery time.
+  SimTime recovery_start = res.done;
+  SimTime cur = res.done;
+  std::uint32_t attempt = 0;
+  while (!res.ok()) {
+    if (attempt >= cfg_.recovery.dma_max_retries) {
+      cur += cfg_.recovery.dma_reset_cost;
+      ++counters_.dma_engine_resets;
+      attempt = 0;
+    }
+    cur += cfg_.recovery.dma_backoff_base << attempt;
+    ++counters_.dma_retries;
+    counters_.dma_runs_retried += res.failed_run_bytes.size();
+    std::vector<std::uint64_t> pending = std::move(res.failed_run_bytes);
+    res = d_.dma->copy_runs(dir, cur, pending);
+    cur = res.done;
+    ++attempt;
+  }
+  SimDuration recovery = cur - recovery_start;
+  prof_.add(CostCategory::ErrorRecovery, recovery);
+  return {cur, recovery};
+}
+
+SimTime Driver::storm_observe(VaBlockId block, std::uint64_t refaults,
+                              SimTime t) {
+  StormState& st = storm_state_[block];
+  if (t - st.window_start > cfg_.storm.window) {
+    st.window_start = t;
+    st.refaults = 0;
+  }
+  st.refaults += refaults;
+  if (st.refaults < cfg_.storm.refault_threshold || t < storm_until_) {
+    return t;
+  }
+  // Storm detected: escalate the replay policy to BatchFlush for the
+  // cooldown and flush the buffer now, draining the duplicate entries that
+  // feed the storm. Forward progress is guaranteed — the escalated policy
+  // still replays every batch, so parked warps re-fault and get serviced.
+  ++counters_.replay_storms;
+  storm_until_ = t + cfg_.storm.cooldown;
+  st.refaults = 0;
+  st.window_start = t;
+
+  SimDuration cost = cm_.flush_base + cm_.flush_per_entry * d_.fb->size();
+  prof_.add(CostCategory::ErrorRecovery, cost);
+  ++counters_.storm_flushes;
+  t += cost;
+  d_.eq->schedule_at(t, [this] {
+    counters_.flushed_entries += d_.fb->flush();
+  });
+  if (log_.enabled()) {
+    const VaBlock& b = d_.as->block(block);
+    log_.record(FaultLogEntry{0, t, FaultLogKind::Hazard, b.first_page,
+                              block, b.range, false});
+  }
+  return t;
+}
+
+ReplayPolicyKind Driver::effective_replay_policy(SimTime t) const {
+  if (cfg_.storm.enabled && t < storm_until_) {
+    return ReplayPolicyKind::BatchFlush;
+  }
+  return cfg_.replay_policy;
+}
+
+void Driver::on_fault_dropped() {
+  // Only armed under hazard injection: hazard-free runs keep the exact
+  // event sequence (and end time) they had before this subsystem existed.
+  if (!hazards_active() || watchdog_armed_) return;
+  watchdog_armed_ = true;
+  d_.eq->schedule_in(cfg_.recovery.watchdog_interval,
+                     [this] { watchdog_check(); });
+}
+
+void Driver::watchdog_check() {
+  watchdog_armed_ = false;
+  // An active driver will replay on its own at batch end; only the
+  // quiescent-but-stuck state needs a rescue.
+  if (processing_ || wake_scheduled_) return;
+  if (!d_.fb->empty()) {
+    on_gpu_interrupt();
+    return;
+  }
+  if (!d_.gpu->has_stalled_warps()) return;
+  // Parked warps, empty buffer, idle driver: their fault entries were lost.
+  // Force a replay so they re-fault (a fresh drop re-arms the watchdog).
+  ++counters_.watchdog_rescues;
+  ++counters_.replays_issued;
+  prof_.add(CostCategory::ErrorRecovery, cm_.replay_issue);
+  SimTime fire_at = std::max(d_.eq->now() + cm_.replay_issue,
+                             migrations_inflight_until_);
+  d_.eq->schedule_at(fire_at, [this] { d_.gpu->replay(); });
 }
 
 }  // namespace uvmsim

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <unordered_map>
 
 #include "core/fault_log.h"
 #include "core/profiler.h"
@@ -30,6 +32,7 @@
 #include "mem/page_table.h"
 #include "mem/pma.h"
 #include "sim/event_queue.h"
+#include "sim/hazards.h"
 #include "uvm/adaptive_prefetcher.h"
 #include "uvm/cost_model.h"
 #include "uvm/counters.h"
@@ -52,6 +55,8 @@ class Driver {
     PhysicalMemoryAllocator* pma;
     DmaEngine* dma;
     AccessCounters* ac;
+    /// Optional hazard injector (null in hazard-free runs).
+    HazardInjector* hazards = nullptr;
   };
 
   Driver(const DriverConfig& cfg, const CostModel& cm, const Deps& deps,
@@ -60,6 +65,13 @@ class Driver {
   /// GPU interrupt line: schedules a wakeup unless the driver is already
   /// processing or a wakeup is in flight.
   void on_gpu_interrupt();
+
+  /// Notification that a fault entry failed to reach the buffer (overflow
+  /// or injected corruption). Under hazard injection this arms a stall
+  /// watchdog: if, after watchdog_interval, warps are still parked with an
+  /// empty buffer and an idle driver, a rescue replay is forced so they
+  /// re-fault (otherwise the run would deadlock).
+  void on_fault_dropped();
 
   /// Host-side access path (CPU page fault): pages resident only on the GPU
   /// migrate back (read-mostly ranges duplicate on reads instead); a write
@@ -94,16 +106,43 @@ class Driver {
   }
 
  private:
+  /// Outcome of a hazard-hardened copy: the completion time plus how much
+  /// of the elapsed span was recovery (already charged to ErrorRecovery —
+  /// callers subtract it from their own category charge).
+  struct CopyOutcome {
+    SimTime done;
+    SimDuration recovery;
+  };
+
   void run_pass();
   /// Services one VABlock bin; returns the advanced time cursor.
   SimTime service_bin(const FaultBatch::Bin& bin, SimTime t);
   /// Guarantees GPU backing for every slice touched by `to_populate`,
   /// evicting as needed. Sets `restarted` when an eviction forced the fault
-  /// path to restart.
+  /// path to restart. Slices that cannot be backed (no eligible eviction
+  /// victim) are skipped and their `to_populate` pages accumulate in
+  /// `unbacked` for the caller to degrade to remote mapping.
   SimTime ensure_backing(VaBlock& blk, const PageMask& to_populate, SimTime t,
-                         bool& restarted);
-  /// Evicts one LRU-eligible slice; throws if none is eligible.
-  SimTime evict_victim(SimTime t, VaBlockId faulting_block);
+                         bool& restarted, PageMask& unbacked);
+  /// Evicts one LRU-eligible slice, advancing `t`; returns false (leaving
+  /// `t` untouched) when no victim is eligible.
+  bool evict_victim(SimTime& t, VaBlockId faulting_block);
+  /// copy_runs with bounded retry + exponential backoff on injected DMA
+  /// failures; after dma_max_retries failed rounds the copy engine is reset
+  /// and the budget renews, so the copy always eventually completes.
+  CopyOutcome robust_copy(Direction dir, SimTime t,
+                          std::span<const std::uint64_t> run_bytes);
+  /// Feeds per-block re-fault counts to the replay-storm watchdog; on a
+  /// threshold crossing escalates the replay policy and flushes the buffer.
+  SimTime storm_observe(VaBlockId block, std::uint64_t refaults, SimTime t);
+  /// The configured replay policy, escalated to BatchFlush while a replay
+  /// storm is in force.
+  [[nodiscard]] ReplayPolicyKind effective_replay_policy(SimTime t) const;
+  /// Deferred stall-watchdog check (scheduled by on_fault_dropped).
+  void watchdog_check();
+  [[nodiscard]] bool hazards_active() const {
+    return d_.hazards != nullptr && d_.hazards->enabled();
+  }
   /// Charges and schedules a replay notification at cursor `t`.
   SimTime issue_replay(SimTime t);
   /// Charges and schedules a fault-buffer flush at cursor `t`.
@@ -134,6 +173,16 @@ class Driver {
   /// Completion time of the latest asynchronously issued migration
   /// (pipelined-migration extension); replays never fire before it.
   SimTime migrations_inflight_until_ = 0;
+
+  // --- hazard recovery state ---
+  bool watchdog_armed_ = false;
+  /// Replay storms escalate the policy until this time.
+  SimTime storm_until_ = 0;
+  struct StormState {
+    SimTime window_start = 0;
+    std::uint64_t refaults = 0;
+  };
+  std::unordered_map<VaBlockId, StormState> storm_state_;
 };
 
 }  // namespace uvmsim

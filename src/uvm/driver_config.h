@@ -4,9 +4,46 @@
 #include <cstdint>
 
 #include "mem/constants.h"
+#include "sim/time.h"
 #include "uvm/thrashing_detector.h"
 
 namespace uvmsim {
+
+/// Error-recovery knobs: bounded retries with exponential backoff for
+/// failed DMA runs and transient RM-call failures, plus the stall watchdog
+/// that rescues warps whose fault entries were lost. All recovery time is
+/// charged to CostCategory::ErrorRecovery.
+struct ErrorRecoveryConfig {
+  /// Failed-DMA retry rounds before the copy engine is reset (each reset
+  /// grants a fresh retry budget, so copies always eventually complete).
+  std::uint32_t dma_max_retries = 4;
+  /// First retry backoff; doubles each subsequent round.
+  SimDuration dma_backoff_base = 2 * kMicrosecond;
+  /// Cost of a copy-engine reset after an exhausted retry round.
+  SimDuration dma_reset_cost = 50 * kMicrosecond;
+  /// First backoff after a transient RM-call failure; doubles per retry.
+  SimDuration pma_backoff_base = 5 * kMicrosecond;
+  /// Cap on the PMA backoff doublings (bounds the wait at high rates).
+  std::uint32_t pma_backoff_cap = 6;
+  /// How long after a lost fault entry the stall watchdog checks for
+  /// parked warps with no pending work and forces a rescue replay.
+  SimDuration watchdog_interval = 250 * kMicrosecond;
+};
+
+/// Replay-storm watchdog: tracks per-VABlock re-fault rates (stale faults
+/// and intra-batch duplicates) in a sliding window; when a block's rate
+/// crosses the threshold the driver escalates the replay policy to
+/// BatchFlush for the cooldown period and forces a buffer flush, draining
+/// the duplicate entries that feed the storm. Off by default — the
+/// Simulator enables it automatically when hazard injection is active.
+struct ReplayStormConfig {
+  bool enabled = false;
+  /// Re-faults per block within `window` that trigger escalation.
+  std::uint32_t refault_threshold = 64;
+  SimDuration window = 500 * kMicrosecond;
+  /// How long the escalated policy stays in force after a trigger.
+  SimDuration cooldown = 2 * kMillisecond;
+};
 
 /// How pre-processing reacts to a fault entry whose ready flag lags its
 /// queue pointer (paper §III-C: "Faults are fetched until the fault pointer
@@ -49,6 +86,12 @@ struct DriverConfig {
   /// Thrash detection/mitigation (the driver's perf_thrashing module;
   /// disabled by default to match the paper's measurement setup).
   ThrashingDetector::Config thrashing;
+
+  /// Retry/backoff/watchdog knobs for hazard recovery.
+  ErrorRecoveryConfig recovery;
+
+  /// Replay-storm watchdog (auto-enabled under hazard injection).
+  ReplayStormConfig storm;
 
   /// Extension: issue H2D migrations asynchronously and keep servicing
   /// while the copy engines work; replays wait for the data they resume

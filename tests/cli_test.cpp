@@ -117,4 +117,32 @@ TEST(Cli, ConfigKnobsAccepted) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST(Cli, ConfigErrorGetsDistinctExitCode) {
+  CmdResult r = run_cli("--workload regular --size-mib 4 --batch-size 0");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("config error"), std::string::npos);
+  EXPECT_NE(r.output.find("batch_size"), std::string::npos);
+
+  CmdResult r2 = run_cli(
+      "--workload regular --size-mib 4 --hazard-dma-fail-rate 1.5");
+  EXPECT_EQ(r2.exit_code, 2) << r2.output;
+  EXPECT_NE(r2.output.find("config error"), std::string::npos);
+}
+
+TEST(Cli, HazardRunPrintsRecoveryReport) {
+  CmdResult r = run_cli(
+      "--workload sgemm --size-mib 24 --gpu-mib 16 "
+      "--hazard-dma-fail-rate 0.05 --hazard-pma-fail-rate 0.05");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("hazard injection & recovery"), std::string::npos);
+  EXPECT_NE(r.output.find("dma_retries"), std::string::npos);
+}
+
+TEST(Cli, ZeroHazardRatesStaySilent) {
+  CmdResult r = run_cli(
+      "--workload regular --size-mib 4 --hazard-dma-fail-rate 0");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("hazard injection"), std::string::npos);
+}
+
 }  // namespace

@@ -31,7 +31,7 @@ class DmaTest : public ::testing::Test {
 
 TEST_F(DmaTest, SingleRunCost) {
   std::array<std::uint64_t, 1> runs = {1000};
-  SimTime done = dma_.copy_runs(Direction::HostToDevice, 0, runs);
+  SimTime done = dma_.copy_runs(Direction::HostToDevice, 0, runs).done;
   // staging 250 + setup 500 + latency 1000 + wire 1000
   EXPECT_EQ(done, 2750u);
   EXPECT_EQ(dma_.copy_ops(), 1u);
@@ -39,7 +39,7 @@ TEST_F(DmaTest, SingleRunCost) {
 
 TEST_F(DmaTest, MultipleRunsPaySetupEach) {
   std::array<std::uint64_t, 2> runs = {1000, 1000};
-  SimTime done = dma_.copy_runs(Direction::HostToDevice, 0, runs);
+  SimTime done = dma_.copy_runs(Direction::HostToDevice, 0, runs).done;
   EXPECT_EQ(done, 5500u);  // 2 * 2750
   EXPECT_EQ(dma_.copy_ops(), 2u);
 }
@@ -50,20 +50,20 @@ TEST_F(DmaTest, CoalescingBeatsScatter) {
   std::array<std::uint64_t, 4> four = {1000, 1000, 1000, 1000};
   Interconnect l2(link_cfg());
   DmaEngine d2(dma_cfg(), l2);
-  SimTime t_one = dma_.copy_runs(Direction::HostToDevice, 0, one);
-  SimTime t_four = d2.copy_runs(Direction::HostToDevice, 0, four);
+  SimTime t_one = dma_.copy_runs(Direction::HostToDevice, 0, one).done;
+  SimTime t_four = d2.copy_runs(Direction::HostToDevice, 0, four).done;
   EXPECT_LT(t_one, t_four);
 }
 
 TEST_F(DmaTest, ZeroLengthRunsSkipped) {
   std::array<std::uint64_t, 3> runs = {0, 1000, 0};
-  SimTime done = dma_.copy_runs(Direction::HostToDevice, 0, runs);
+  SimTime done = dma_.copy_runs(Direction::HostToDevice, 0, runs).done;
   EXPECT_EQ(done, 2750u);
   EXPECT_EQ(dma_.copy_ops(), 1u);
 }
 
 TEST_F(DmaTest, EmptyRunListIsFree) {
-  SimTime done = dma_.copy_runs(Direction::HostToDevice, 42, {});
+  SimTime done = dma_.copy_runs(Direction::HostToDevice, 42, {}).done;
   EXPECT_EQ(done, 42u);
 }
 

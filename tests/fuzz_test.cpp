@@ -64,6 +64,16 @@ FuzzCase make_config(Rng& rng) {
     cfg.driver.thrashing.mitigation =
         static_cast<ThrashMitigation>(rng.next_below(3));
   }
+  // Half the cases run under hazard injection; every invariant below must
+  // survive injected DMA failures, fault-buffer corruption, transient
+  // allocation failures, and lost notifications. DeterministicReplay then
+  // doubles as the hazard-reproducibility check.
+  if (rng.next_below(2) == 0) {
+    cfg.hazards.dma_fail_rate = 0.3 * rng.next_double();
+    cfg.hazards.fb_corrupt_rate = 0.3 * rng.next_double();
+    cfg.hazards.pma_fail_rate = 0.3 * rng.next_double();
+    cfg.hazards.ac_drop_rate = 0.3 * rng.next_double();
+  }
   return fc;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/errors.h"
 #include "core/metrics.h"
 #include "core/pattern_analyzer.h"
 #include "core/timeline.h"
@@ -39,6 +40,11 @@ struct CliOptions {
   std::uint32_t batch_size = 256;
   std::string thrash = "off";  // off | detect | pin | throttle
   std::uint64_t seed = 42;
+  std::uint64_t hazard_seed = 0;  // 0 = derive from --seed
+  double hazard_dma = 0.0;
+  double hazard_fb = 0.0;
+  double hazard_pma = 0.0;
+  double hazard_ac = 0.0;
   bool pattern = false;
   bool csv = false;
   bool pipelined = false;
@@ -64,6 +70,16 @@ options:
   --thrash MODE        off | detect | pin | throttle (default off)
   --seed N             simulation seed (default 42)
   --pipelined          overlap migrations with servicing (extension)
+
+hazard injection (all rates in [0,1), default 0 = no injection):
+  --hazard-dma-fail-rate R   probability a DMA copy run fails and is retried
+  --hazard-fb-corrupt-rate R probability a fault-buffer entry is corrupted
+                             (dropped / duplicated / ready-stalled)
+  --hazard-pma-fail-rate R   probability of a transient allocation failure
+  --hazard-ac-drop-rate R    probability an access-counter notification is
+                             lost
+  --hazard-seed N            hazard stream seed (default: derived from --seed)
+
   --pattern            print the Fig.7-style fault scatter
   --baseline           also run the explicit-transfer baseline
   --csv                emit csv rows for the summary
@@ -129,6 +145,21 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (a == "--seed") {
       if (!(v = need_value(i))) return std::nullopt;
       o.seed = std::stoull(v);
+    } else if (a == "--hazard-seed") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.hazard_seed = std::stoull(v);
+    } else if (a == "--hazard-dma-fail-rate") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.hazard_dma = std::stod(v);
+    } else if (a == "--hazard-fb-corrupt-rate") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.hazard_fb = std::stod(v);
+    } else if (a == "--hazard-pma-fail-rate") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.hazard_pma = std::stod(v);
+    } else if (a == "--hazard-ac-drop-rate") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.hazard_ac = std::stod(v);
     } else if (a == "--dump-trace") {
       if (!(v = need_value(i))) return std::nullopt;
       o.dump_trace = v;
@@ -190,6 +221,12 @@ std::optional<SimConfig> to_config(const CliOptions& o) {
   cfg.driver.alloc_granularity_bytes = o.granularity_kib << 10;
   cfg.pma.chunk_bytes = cfg.driver.alloc_granularity_bytes;
 
+  cfg.hazards.seed = o.hazard_seed;
+  cfg.hazards.dma_fail_rate = o.hazard_dma;
+  cfg.hazards.fb_corrupt_rate = o.hazard_fb;
+  cfg.hazards.pma_fail_rate = o.hazard_pma;
+  cfg.hazards.ac_drop_rate = o.hazard_ac;
+
   if (o.thrash != "off") {
     cfg.driver.thrashing.enabled = true;
     if (o.thrash == "detect") {
@@ -206,9 +243,9 @@ std::optional<SimConfig> to_config(const CliOptions& o) {
   return cfg;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// The CLI body; throws ConfigError / SimulationError out to main, which
+/// maps them to distinct exit codes.
+int run_cli(int argc, char** argv) {
   auto opts = parse(argc, argv);
   if (!opts) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 1;
   auto cfg = to_config(*opts);
@@ -289,6 +326,12 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n' << breakdown.to_text();
 
+  if (r.hazards_enabled) {
+    Table hz = hazard_report(r);
+    if (opts->csv) std::cout << hz.to_csv();
+    std::cout << "\nhazard injection & recovery:\n" << hz.to_text();
+  }
+
   if (r.stall_latency.count() > 0) {
     Table lat({"latency", "p50", "p90", "p99", "samples"});
     auto q = [](const LogHistogram& h, double p_) {
@@ -329,4 +372,24 @@ int main(int argc, char** argv) {
               << "x)\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Exit codes: 0 success, 1 usage / I/O problem, 2 invalid configuration,
+  // 3 simulation failure (e.g. deadlock) — scripts can tell "fix your
+  // flags" apart from "the simulated system wedged".
+  try {
+    return run_cli(argc, argv);
+  } catch (const ConfigError& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 2;
+  } catch (const SimulationError& e) {
+    std::cerr << "simulation error: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
