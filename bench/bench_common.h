@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/simulator.h"
@@ -41,6 +43,35 @@ inline RunResult run_workload(const SimConfig& cfg, const std::string& name,
   auto wl = make_workload(name, target_bytes);
   wl->setup(sim);
   return sim.run();
+}
+
+/// The value of a `--trace-out FILE` bench argument ("" = tracing off).
+inline std::string trace_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace-out") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Runs one workload with driver tracing enabled and writes the Chrome
+/// trace_event JSON to `path` (load it in Perfetto / chrome://tracing).
+inline RunResult run_workload_traced(SimConfig cfg, const std::string& name,
+                                     std::uint64_t target_bytes,
+                                     const std::string& path) {
+  cfg.trace.enabled = true;
+  Simulator sim(cfg);
+  auto wl = make_workload(name, target_bytes);
+  wl->setup(sim);
+  RunResult r = sim.run();
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write trace: " << path << "\n";
+    return r;
+  }
+  write_chrome_trace(out, *sim.tracer());
+  std::cout << "driver trace: " << sim.tracer()->recorded()
+            << " events -> " << path << "\n";
+  return r;
 }
 
 /// Data sizes as fractions of GPU memory for undersubscribed sweeps.

@@ -15,7 +15,7 @@
 #include "core/metrics.h"
 #include "core/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uvmsim;
   using namespace uvmsim::bench;
 
@@ -76,5 +76,13 @@ int main() {
   // service time dilutes its share — see EXPERIMENTS.md for the discussion.
   shape_check("replay policy is a visible cost for random access (>= 1 %)",
               replay_share_rand >= 0.01);
+
+  if (std::string path = trace_out_path(argc, argv); !path.empty()) {
+    // One traced re-run of the representative configuration, so the fault
+    // cost breakdown can be inspected span by span in Perfetto.
+    SimConfig tc = base_config();
+    tc.driver.prefetch_enabled = false;
+    run_workload_traced(tc, "regular", mid, path);
+  }
   return 0;
 }

@@ -20,7 +20,7 @@
 #include "core/metrics.h"
 #include "core/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uvmsim;
   using namespace uvmsim::bench;
 
@@ -86,5 +86,13 @@ int main() {
   shape_check("4KB-demand/2MB-allocation asymmetry: random evicts orders of "
               "magnitude more often than regular",
               evict_random_nopf > 10 * std::max<std::uint64_t>(evict_regular, 1));
+
+  if (std::string path = trace_out_path(argc, argv); !path.empty()) {
+    // One traced re-run of the heaviest point (random, 2x oversubscription)
+    // so the eviction/replay churn can be inspected span by span.
+    auto target = static_cast<std::uint64_t>(
+        ratios.back() * static_cast<double>(cfg.gpu_memory()));
+    run_workload_traced(cfg, "random", target, path);
+  }
   return 0;
 }

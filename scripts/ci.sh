@@ -14,6 +14,19 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build -j"$JOBS" --output-on-failure
 
+echo "== traced bench run (Chrome trace JSON must parse) =="
+TRACE_OUT=$(mktemp /tmp/uvmsim-trace.XXXXXX.json)
+UVMSIM_FAST=1 ./build/bench/fig03_fault_cost_breakdown --trace-out "$TRACE_OUT"
+test -s "$TRACE_OUT"
+grep -q '"traceEvents":\[' "$TRACE_OUT"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$TRACE_OUT" > /dev/null
+  echo "trace JSON parses"
+else
+  echo "python3 unavailable; skipped JSON parse check"
+fi
+rm -f "$TRACE_OUT"
+
 echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DUVMSIM_SANITIZE=ON
 cmake --build build-asan -j"$JOBS"

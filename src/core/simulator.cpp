@@ -38,12 +38,16 @@ Simulator::Simulator(const SimConfig& cfg)
     dma_.set_hazard_injector(hazards_.get());
   }
 
+  if (cfg_.trace.enabled) {
+    tracer_ = std::make_unique<Tracer>(cfg_.trace);
+  }
+
   GpuEngine::Config gcfg = cfg_.gpu;
   gcfg.seed = rng_.next_u64();
   gpu_ = std::make_unique<GpuEngine>(gcfg, eq_, as_, pt_, fb_, ac_, &link_);
 
-  Driver::Deps deps{&eq_, &as_,  &pt_,  &fb_, gpu_.get(),
-                    &pma_, &dma_, &ac_, hazards_.get()};
+  Driver::Deps deps{&eq_,  &as_,  &pt_, &fb_,           gpu_.get(),
+                    &pma_, &dma_, &ac_, hazards_.get(), tracer_.get()};
   DriverConfig dcfg = cfg_.driver;
   dcfg.seed = rng_.next_u64();
   // Hazard runs can drop fault entries and spin up replay storms; the

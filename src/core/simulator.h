@@ -27,6 +27,7 @@
 #include "sim/event_queue.h"
 #include "sim/hazards.h"
 #include "sim/rng.h"
+#include "sim/trace.h"
 #include "uvm/cost_model.h"
 #include "uvm/driver.h"
 #include "uvm/driver_config.h"
@@ -45,6 +46,10 @@ struct SimConfig {
   /// Deterministic hazard injection (all rates 0 = disabled; a disabled
   /// injector leaves the run bit-identical to one without the subsystem).
   HazardConfig hazards;
+  /// Structured driver-pass tracing (trace.enabled = false keeps the run
+  /// byte-identical to one without the subsystem: no tracer is built and
+  /// the driver's hooks reduce to a null-pointer test).
+  TraceConfig trace;
   /// Record the per-fault trace (disable for very large sweeps).
   bool enable_fault_log = true;
   std::uint64_t seed = 42;
@@ -126,6 +131,8 @@ class Simulator {
   [[nodiscard]] const HazardInjector* hazard_injector() const {
     return hazards_.get();
   }
+  /// Null unless tracing is enabled in the config.
+  [[nodiscard]] const Tracer* tracer() const { return tracer_.get(); }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
 
@@ -143,6 +150,7 @@ class Simulator {
   EventQueue eq_;
   Rng rng_;
   std::unique_ptr<HazardInjector> hazards_;
+  std::unique_ptr<Tracer> tracer_;
   AddressSpace as_;
   PageTable pt_;
   FaultBuffer fb_;

@@ -39,6 +39,17 @@ bool FaultBuffer::push(FaultEntry e, SimTime now) {
   return true;
 }
 
+bool FaultBuffer::push_preserving_timestamps(const FaultEntry& e) {
+  if (full()) {
+    ++dropped_;
+    return false;
+  }
+  q_.push_back(e);
+  ++pushed_;
+  max_occupancy_ = std::max(max_occupancy_, q_.size());
+  return true;
+}
+
 std::optional<FaultEntry> FaultBuffer::pop() {
   if (q_.empty()) return std::nullopt;
   FaultEntry e = q_.front();

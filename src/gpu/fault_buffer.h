@@ -32,6 +32,11 @@ class FaultBuffer {
   /// hazard may also duplicate the entry or stall its ready flag.
   bool push(FaultEntry e, SimTime now);
 
+  /// Appends an entry verbatim, preserving the caller's raised_at/ready_at
+  /// (normal pushes stamp both). Models entries whose timestamps were
+  /// corrupted in flight; the driver's fetch path must tolerate them.
+  bool push_preserving_timestamps(const FaultEntry& e);
+
   /// Attaches the hazard injector (null = entries are never corrupted).
   void set_hazard_injector(HazardInjector* h) { hazards_ = h; }
 

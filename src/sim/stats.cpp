@@ -70,15 +70,24 @@ double LogHistogram::quantile(double q) const {
       return (lo + hi) / 2.0;
     }
   }
-  return std::ldexp(1.0, kBuckets - 1);
+  // Unreachable while total_ > 0 (the cumulative count always crosses
+  // target); return the top bucket's midpoint rather than an out-of-range
+  // edge for defence in depth.
+  return (std::ldexp(1.0, kBuckets - 2) + std::ldexp(1.0, kBuckets - 1)) /
+         2.0;
 }
 
 std::string LogHistogram::to_string() const {
   std::ostringstream os;
   for (int i = 0; i < kBuckets; ++i) {
     if (buckets_[i] == 0) continue;
+    // The top bucket's true upper edge is 2^64, which does not fit in a
+    // uint64; print the largest representable value instead. Keyed off
+    // kBuckets (not a literal 64) so a bucket-count change cannot
+    // reintroduce the shift-overflow.
     std::uint64_t lo = (i == 0) ? 0 : (1ULL << (i - 1));
-    std::uint64_t hi = (i == 0) ? 1 : (i == 64 ? ~0ULL : (1ULL << i));
+    std::uint64_t hi =
+        (i == 0) ? 1 : (i == kBuckets - 1 ? ~0ULL : (1ULL << i));
     os << lo << ' ' << hi << ' ' << buckets_[i] << '\n';
   }
   return os.str();
@@ -91,8 +100,17 @@ double SampleSet::quantile(double q) const {
     sorted_ = true;
   }
   q = std::clamp(q, 0.0, 1.0);
-  auto idx = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[std::min(idx, samples_.size() - 1)];
+  // Nearest-rank (as documented): the smallest sample with cumulative
+  // frequency >= q. The previous rounding formula over-shot by one rank for
+  // half the q range (e.g. p50 of an even-sized set picked the upper
+  // middle).
+  std::size_t n = samples_.size();
+  std::size_t idx =
+      q <= 0.0 ? 0
+               : static_cast<std::size_t>(
+                     std::ceil(q * static_cast<double>(n))) -
+                     1;
+  return samples_[std::min(idx, n - 1)];
 }
 
 double SampleSet::mean() const {

@@ -1,0 +1,221 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace uvmsim {
+
+std::string_view to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::Fetch: return "fetch";
+    case TraceCategory::Service: return "service";
+    case TraceCategory::Prefetch: return "prefetch";
+    case TraceCategory::Replay: return "replay";
+    case TraceCategory::Eviction: return "eviction";
+    case TraceCategory::Recovery: return "recovery";
+    case TraceCategory::kCount: break;
+  }
+  return "unknown";
+}
+
+std::optional<std::uint32_t> parse_trace_categories(std::string_view csv) {
+  if (csv.empty() || csv == "all") return kAllTraceCategories;
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string_view::npos) comma = csv.size();
+    std::string_view tok = csv.substr(pos, comma - pos);
+    bool found = false;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(TraceCategory::kCount); ++i) {
+      if (tok == to_string(static_cast<TraceCategory>(i))) {
+        mask |= 1u << i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+    pos = comma + 1;
+    if (comma == csv.size()) break;
+  }
+  return mask;
+}
+
+Tracer::Tracer(const TraceConfig& cfg)
+    : cfg_(cfg), epoch_(std::chrono::steady_clock::now()) {
+  ring_.resize(std::max<std::size_t>(cfg_.capacity, 1));
+}
+
+void Tracer::record(TraceEvent e) {
+  e.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+void Tracer::span(TraceCategory c, const char* name, SimTime t0, SimTime t1,
+                  std::uint64_t id, const char* a1n, std::uint64_t a1,
+                  const char* a2n, std::uint64_t a2, const char* a3n,
+                  std::uint64_t a3) {
+  if (!accepts(c)) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = c;
+  e.instant = false;
+  e.ts = t0;
+  e.dur = t1 >= t0 ? t1 - t0 : 0;
+  e.id = id;
+  e.arg_names[0] = a1n;
+  e.args[0] = a1;
+  e.arg_names[1] = a2n;
+  e.args[1] = a2;
+  e.arg_names[2] = a3n;
+  e.args[2] = a3;
+  record(e);
+}
+
+void Tracer::instant(TraceCategory c, const char* name, SimTime t,
+                     std::uint64_t id, const char* a1n, std::uint64_t a1,
+                     const char* a2n, std::uint64_t a2) {
+  if (!accepts(c)) return;
+  TraceEvent e;
+  e.name = name;
+  e.category = c;
+  e.instant = true;
+  e.ts = t;
+  e.id = id;
+  e.arg_names[0] = a1n;
+  e.args[0] = a1;
+  e.arg_names[1] = a2n;
+  e.args[1] = a2;
+  record(e);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  if (recorded_ == 0) return out;
+  if (recorded_ <= ring_.size()) {
+    out.assign(ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(recorded_));
+    return out;
+  }
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
+}
+
+namespace {
+
+/// Nanoseconds rendered as microseconds with fixed 3 decimals — integer
+/// arithmetic, so the output is deterministic across platforms.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000
+     << std::setfill(' ');
+}
+
+void write_event_json(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << to_string(e.category)
+     << "\",\"ph\":\"" << (e.instant ? "i" : "X") << "\",\"ts\":";
+  write_us(os, e.ts);
+  if (!e.instant) {
+    os << ",\"dur\":";
+    write_us(os, e.dur);
+  } else {
+    os << ",\"s\":\"t\"";
+  }
+  os << ",\"pid\":1,\"tid\":"
+     << static_cast<std::uint32_t>(e.category) + 1 << ",\"args\":{";
+  bool first = true;
+  if (e.id != 0) {
+    os << "\"id\":" << e.id;
+    first = false;
+  }
+  for (int i = 0; i < 3; ++i) {
+    if (e.arg_names[i] == nullptr) continue;
+    if (!first) os << ',';
+    os << '"' << e.arg_names[i] << "\":" << e.args[i];
+    first = false;
+  }
+  if (!first) os << ',';
+  os << "\"wall_ns\":" << e.wall_ns << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  // Name the per-category tracks so Perfetto labels them.
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(TraceCategory::kCount); ++i) {
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << i + 1
+       << ",\"args\":{\"name\":\""
+       << to_string(static_cast<TraceCategory>(i)) << "\"}},\n";
+  }
+  auto evs = tracer.events();
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    write_event_json(os, evs[i]);
+    if (i + 1 < evs.size()) os << ',';
+    os << '\n';
+  }
+  os << "]}\n";
+}
+
+TraceSummary summarize_trace(const Tracer& tracer) {
+  std::map<std::pair<std::uint8_t, std::string>, TraceSummary::Row> rows;
+  for (const TraceEvent& e : tracer.events()) {
+    auto key = std::make_pair(static_cast<std::uint8_t>(e.category),
+                              std::string(e.name));
+    auto [it, inserted] = rows.try_emplace(key);
+    if (inserted) {
+      it->second.category = e.category;
+      it->second.name = e.name;
+    }
+    if (e.instant) {
+      ++it->second.instants;
+    } else {
+      it->second.acc.add(static_cast<double>(e.dur));
+      it->second.hist.add(e.dur);
+    }
+  }
+  TraceSummary out;
+  out.rows.reserve(rows.size());
+  for (auto& [key, row] : rows) out.rows.push_back(std::move(row));
+  return out;
+}
+
+std::string TraceSummary::to_string() const {
+  std::ostringstream os;
+  os << std::left << std::setw(10) << "category" << std::setw(24) << "name"
+     << std::right << std::setw(10) << "count" << std::setw(12) << "total_us"
+     << std::setw(10) << "mean_us" << std::setw(10) << "p50_us"
+     << std::setw(10) << "p99_us" << std::setw(10) << "max_us" << '\n';
+  os << std::fixed << std::setprecision(3);
+  for (const Row& r : rows) {
+    os << std::left << std::setw(10) << uvmsim::to_string(r.category)
+       << std::setw(24) << r.name << std::right;
+    if (r.acc.count() > 0) {
+      os << std::setw(10) << r.acc.count() << std::setw(12)
+         << r.acc.sum() / 1e3 << std::setw(10) << r.acc.mean() / 1e3
+         << std::setw(10) << r.hist.quantile(0.5) / 1e3 << std::setw(10)
+         << r.hist.quantile(0.99) / 1e3 << std::setw(10) << r.acc.max() / 1e3;
+    } else {
+      os << std::setw(10) << r.instants << std::setw(12) << "-"
+         << std::setw(10) << "-" << std::setw(10) << "-" << std::setw(10)
+         << "-" << std::setw(10) << "-";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,150 @@
+// Low-overhead structured tracing for the driver's passes.
+//
+// The paper's core contribution is instrumentation: it times every pass of
+// the UVM driver (batch pre-processing, fault servicing, prefetching, replay
+// handling, eviction) to explain where demand-paging cost goes. This module
+// is the reproduction's own first-class version of that instrumentation:
+// scoped spans and instant events carrying a category, a VABlock/batch id,
+// the simulated-time interval, and a wall-clock stamp, collected into a
+// preallocated ring buffer.
+//
+// Overhead discipline: a null Tracer pointer is the disabled state — call
+// sites guard with a single pointer test and a disabled run performs zero
+// allocations and zero stores, keeping existing runs byte-identical. An
+// enabled tracer allocates its ring once at construction and never again;
+// when the ring fills, the oldest events are overwritten and counted as
+// dropped.
+//
+// Exporters:
+//  * write_chrome_trace() — Chrome trace_event JSON ("traceEvents" array),
+//    loadable in Perfetto / chrome://tracing;
+//  * summarize_trace()    — per-category/per-name latency summary built on
+//    Accumulator + LogHistogram.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace uvmsim {
+
+/// One lane per driver pass, plus hazard recovery.
+enum class TraceCategory : std::uint8_t {
+  Fetch,     ///< batch pre-processing: pop, poll, sort, bin
+  Service,   ///< per-VABlock fault servicing
+  Prefetch,  ///< prefetch-tree decisions and bulk prefetch
+  Replay,    ///< replay issue, buffer flushes, policy transitions
+  Eviction,  ///< victim scans, writeback, unmap
+  Recovery,  ///< hazard recovery: retries, backoff, degradation
+  kCount
+};
+
+[[nodiscard]] std::string_view to_string(TraceCategory c);
+
+inline constexpr std::uint32_t kAllTraceCategories =
+    (1u << static_cast<std::uint32_t>(TraceCategory::kCount)) - 1;
+
+/// Parses a comma-separated category list ("fetch,eviction", or "all").
+/// Returns nullopt on an unknown name.
+[[nodiscard]] std::optional<std::uint32_t> parse_trace_categories(
+    std::string_view csv);
+
+struct TraceConfig {
+  bool enabled = false;
+  /// Bitmask over TraceCategory; events in unselected categories are
+  /// rejected at record time.
+  std::uint32_t categories = kAllTraceCategories;
+  /// Ring-buffer capacity in events; the oldest events are overwritten
+  /// (and counted) once exceeded.
+  std::size_t capacity = 65536;
+};
+
+struct TraceEvent {
+  /// Static string; must be JSON-safe (no quotes/backslashes) — exporters
+  /// emit it verbatim.
+  const char* name = "";
+  TraceCategory category = TraceCategory::Fetch;
+  bool instant = false;       ///< instant event instead of a span
+  SimTime ts = 0;             ///< simulated start time (ns)
+  SimDuration dur = 0;        ///< simulated duration (0 for instants)
+  std::uint64_t id = 0;       ///< VABlock id, pass/batch id, ... (0 = none)
+  /// Up to three optional counter args (nullptr key = unused slot).
+  const char* arg_names[3] = {nullptr, nullptr, nullptr};
+  std::uint64_t args[3] = {0, 0, 0};
+  std::uint64_t wall_ns = 0;  ///< wall-clock ns since tracer construction
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TraceConfig& cfg);
+
+  [[nodiscard]] bool accepts(TraceCategory c) const {
+    return (cfg_.categories & (1u << static_cast<std::uint32_t>(c))) != 0;
+  }
+
+  /// Records a completed span [t0, t1]. Degenerate spans (t1 == t0) are
+  /// kept — a zero-cost pass is still a decision worth seeing.
+  void span(TraceCategory c, const char* name, SimTime t0, SimTime t1,
+            std::uint64_t id = 0, const char* a1n = nullptr,
+            std::uint64_t a1 = 0, const char* a2n = nullptr,
+            std::uint64_t a2 = 0, const char* a3n = nullptr,
+            std::uint64_t a3 = 0);
+
+  /// Records an instant event at time t.
+  void instant(TraceCategory c, const char* name, SimTime t,
+               std::uint64_t id = 0, const char* a1n = nullptr,
+               std::uint64_t a1 = 0, const char* a2n = nullptr,
+               std::uint64_t a2 = 0);
+
+  /// Retained events, oldest first (allocates the snapshot).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Total events recorded, including any that were overwritten.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+  [[nodiscard]] const TraceConfig& config() const { return cfg_; }
+
+ private:
+  void record(TraceEvent e);
+
+  TraceConfig cfg_;
+  std::vector<TraceEvent> ring_;  ///< preallocated; no growth after ctor
+  std::size_t head_ = 0;          ///< next write slot
+  std::uint64_t recorded_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Chrome trace_event JSON ("traceEvents" array form) — open the file in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing. One pid, one tid per
+/// category (named via thread_name metadata). Timestamps are simulated
+/// microseconds; the wall-clock stamp rides along as an arg.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+
+/// Per-(category, name) span-latency roll-up.
+struct TraceSummary {
+  struct Row {
+    TraceCategory category;
+    std::string name;
+    Accumulator acc;     ///< span durations (ns)
+    LogHistogram hist;   ///< the same durations, for quantiles
+    std::uint64_t instants = 0;  ///< instant events under this name
+  };
+  std::vector<Row> rows;  ///< sorted by (category, name)
+
+  /// Aligned text table: count, total, mean, p50/p99, max per row.
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] TraceSummary summarize_trace(const Tracer& tracer);
+
+}  // namespace uvmsim

@@ -14,6 +14,9 @@ struct DriverCounters {
   std::uint64_t duplicate_faults = 0;   ///< batch-dedup'd (same page twice)
   std::uint64_t stale_faults = 0;       ///< page already resident at service
   std::uint64_t polls = 0;              ///< not-ready poll iterations
+  /// Queue-latency samples clamped to zero because the entry's raise time
+  /// was past the fetch cursor (corrupted/reordered entries).
+  std::uint64_t queue_latency_clamped = 0;
   std::uint64_t blocks_serviced = 0;    ///< VABlock bins processed
   std::uint64_t pages_migrated_h2d = 0; ///< demand + prefetch migrations
   std::uint64_t pages_zeroed = 0;       ///< first-touch zero-fills

@@ -79,19 +79,29 @@ void Driver::run_pass() {
   t = drain_access_counters(t);
 
   // --- pre-processing ---
+  const std::uint64_t pass_id = counters_.passes;
   SimTime t0 = t;
-  FaultBatch batch = Preprocessor::fetch(*d_.fb, cfg_.batch_size, cm_, t,
-                                         cfg_.fetch_policy, &queue_latency_);
+  FaultBatch batch =
+      Preprocessor::fetch(*d_.fb, cfg_.batch_size, cm_, t, cfg_.fetch_policy,
+                          &queue_latency_, d_.tracer);
   counters_.faults_fetched += batch.fetched;
   counters_.duplicate_faults += batch.duplicates;
   counters_.polls += batch.polls;
+  counters_.queue_latency_clamped += batch.latency_clamps;
   prof_.add(CostCategory::PreProcess, t - t0);
+  trace_span(TraceCategory::Fetch, "driver.fetch", t0, t, pass_id, "fetched",
+             batch.fetched, "dups", batch.duplicates, "bins",
+             batch.bins.size());
 
   if (!batch.empty()) {
     ++counters_.batches;
     // --- service, one VABlock bin at a time ---
     for (const auto& bin : batch.bins) {
+      SimTime tb = t;
       t = service_bin(bin, t);
+      trace_span(TraceCategory::Service, "service.bin", tb, t, bin.block,
+                 "entries", bin.fault_entries, "pages", bin.faulted.count(),
+                 "pass", pass_id);
       if (effective_replay_policy(t) == ReplayPolicyKind::Block) {
         t = issue_replay(t);
       }
@@ -125,6 +135,8 @@ void Driver::run_pass() {
       ++counters_.replays_issued;
       SimTime fire_at = std::max(d_.eq->now() + cm_.replay_issue,
                                  migrations_inflight_until_);
+      trace_instant(TraceCategory::Replay, "replay.once", d_.eq->now(),
+                    counters_.replays_issued, "fire_at", fire_at);
       d_.eq->schedule_at(fire_at, [this] { d_.gpu->replay(); });
     }
     if (!d_.fb->empty()) run_pass();
@@ -240,6 +252,9 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
          static_cast<SimDuration>(pres.tree_updates) *
              cm_.prefetch_compute_per_fault;
     prof_.add(CostCategory::ServiceOther, t - t0);
+    trace_span(TraceCategory::Prefetch, "prefetch.compute", t0, t, blk.id,
+               "tree_updates", pres.tree_updates, "pages", prefetch.count(),
+               "threshold", effective_threshold());
   }
   PageMask to_populate = need | prefetch;
 
@@ -264,6 +279,8 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
                                 cm_.map_per_page;
       counters_.degraded_remote_pages += degraded.count();
       prof_.add(CostCategory::ErrorRecovery, t - tr);
+      trace_span(TraceCategory::Recovery, "recover.degraded_remote", tr, t,
+                 blk.id, "pages", degraded.count());
       if (log_.enabled()) {
         for (std::uint32_t i : degraded.set_indices()) {
           log_.record(FaultLogEntry{0, t, FaultLogKind::Hazard,
@@ -348,6 +365,10 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
 SimTime Driver::ensure_backing(VaBlock& blk, const PageMask& to_populate,
                                SimTime t, bool& restarted,
                                PageMask& unbacked) {
+  // Victim eligibility is stable for the duration of this call (the
+  // faulting block is fixed and no service_locked flag flips), so the
+  // eviction policy may cache ineligibility verdicts between victim scans.
+  eviction_->begin_victim_round();
   for (std::uint32_t s : touched_slices(to_populate, cfg_.pages_per_slice())) {
     if (blk.backed_slices.test(s)) continue;
     bool backed = true;
@@ -374,6 +395,8 @@ SimTime Driver::ensure_backing(VaBlock& blk, const PageMask& to_populate,
         std::uint32_t shift =
             std::min(transient_failures, cfg_.recovery.pma_backoff_cap);
         SimDuration backoff = cfg_.recovery.pma_backoff_base << shift;
+        trace_span(TraceCategory::Recovery, "recover.pma_backoff", t,
+                   t + backoff, blk.id, "attempt", transient_failures + 1);
         t += backoff;
         prof_.add(CostCategory::ErrorRecovery, backoff);
         ++counters_.pma_alloc_retries;
@@ -404,24 +427,29 @@ SimTime Driver::ensure_backing(VaBlock& blk, const PageMask& to_populate,
     blk.backed_slices.set(s);
     eviction_->on_slice_allocated(SliceKey{blk.id, s});
   }
+  eviction_->end_victim_round();
   return t;
 }
 
 bool Driver::evict_victim(SimTime& t, VaBlockId faulting_block) {
-  auto base_ok = [&](SliceKey k) {
-    if (k.block == faulting_block) return false;
-    return !d_.as->block(k.block).service_locked;
-  };
   // Honor cudaMemAdvise preferred-location hints: evict non-preferred
-  // slices first, fall back to anything eligible.
-  auto not_preferred = [&](SliceKey k) {
-    if (!base_ok(k)) return false;
+  // slices first (Preferred victims), fall back to anything eligible. The
+  // single classified scan replaces the previous two-pass
+  // (not_preferred-then-base_ok) search with identical victim choice.
+  auto classify = [&](SliceKey k) {
+    if (k.block == faulting_block) return VictimEligibility::Ineligible;
     const VaBlock& b = d_.as->block(k.block);
-    return !d_.as->range(b.range).advise.preferred_location_gpu;
+    if (b.service_locked) return VictimEligibility::Ineligible;
+    return d_.as->range(b.range).advise.preferred_location_gpu
+               ? VictimEligibility::Eligible
+               : VictimEligibility::Preferred;
   };
-  std::optional<SliceKey> v = eviction_->pick_victim(not_preferred);
-  if (!v) v = eviction_->pick_victim(base_ok);
-  if (!v) return false;  // caller degrades to remote mapping
+  std::optional<SliceKey> v = eviction_->pick_victim_classified(classify);
+  if (!v) {
+    trace_instant(TraceCategory::Eviction, "evict.no_victim", t,
+                  faulting_block, "scanned", eviction_->last_scan_length());
+    return false;  // caller degrades to remote mapping
+  }
 
   SimTime t0 = t;
   SimDuration recovery = 0;
@@ -468,6 +496,9 @@ bool Driver::evict_victim(SimTime& t, VaBlockId faulting_block) {
         false});
   }
   prof_.add(CostCategory::Eviction, (t - t0) - recovery);
+  trace_span(TraceCategory::Eviction, "evict.victim", t0, t, v->block,
+             "slice", v->slice, "writeback_pages", writeback.count(),
+             "scanned", eviction_->last_scan_length());
   return true;
 }
 
@@ -560,6 +591,8 @@ SimTime Driver::prefetch_pages(VirtPage first, std::uint64_t npages) {
     counters_.pages_migrated_h2d += to_move.count();
     counters_.prefetch_async_pages += to_move.count();
     prof_.add(CostCategory::ServiceMigrate, (t - t0) - rc.recovery);
+    trace_span(TraceCategory::Prefetch, "prefetch.bulk", t0, t, blk.id,
+               "pages", to_move.count());
 
     t0 = t;
     d_.pt->map_pages(blk, to_move);
@@ -578,11 +611,14 @@ SimTime Driver::prefetch_pages(VirtPage first, std::uint64_t npages) {
 SimTime Driver::issue_replay(SimTime t) {
   prof_.add(CostCategory::ReplayPolicy, cm_.replay_issue);
   ++counters_.replays_issued;
+  SimTime t0 = t;
   t += cm_.replay_issue;
   // Pipelined migrations: warps must not resume before their data lands,
   // so the replay notification trails the last outstanding copy. The
   // driver itself keeps working — only the replay waits.
   SimTime fire_at = std::max(t, migrations_inflight_until_);
+  trace_span(TraceCategory::Replay, "replay.issue", t0, t,
+             counters_.replays_issued, "fire_at", fire_at);
   d_.eq->schedule_at(fire_at, [this] { d_.gpu->replay(); });
   return t;
 }
@@ -591,6 +627,8 @@ SimTime Driver::flush_buffer(SimTime t) {
   SimDuration cost = cm_.flush_base + cm_.flush_per_entry * d_.fb->size();
   prof_.add(CostCategory::ReplayPolicy, cost);
   ++counters_.buffer_flushes;
+  trace_span(TraceCategory::Replay, "replay.flush", t, t + cost,
+             counters_.buffer_flushes, "pending_entries", d_.fb->size());
   t += cost;
   d_.eq->schedule_at(t, [this] {
     counters_.flushed_entries += d_.fb->flush();
@@ -700,6 +738,9 @@ Driver::CopyOutcome Driver::robust_copy(
   }
   SimDuration recovery = cur - recovery_start;
   prof_.add(CostCategory::ErrorRecovery, recovery);
+  trace_span(TraceCategory::Recovery, "recover.dma", recovery_start, cur, 0,
+             "retries", counters_.dma_retries, "resets",
+             counters_.dma_engine_resets);
   return {cur, recovery};
 }
 
@@ -722,10 +763,14 @@ SimTime Driver::storm_observe(VaBlockId block, std::uint64_t refaults,
   storm_until_ = t + cfg_.storm.cooldown;
   st.refaults = 0;
   st.window_start = t;
+  trace_instant(TraceCategory::Replay, "replay.storm", t, block, "cooldown",
+                cfg_.storm.cooldown);
 
   SimDuration cost = cm_.flush_base + cm_.flush_per_entry * d_.fb->size();
   prof_.add(CostCategory::ErrorRecovery, cost);
   ++counters_.storm_flushes;
+  trace_span(TraceCategory::Recovery, "recover.storm_flush", t, t + cost,
+             block, "pending_entries", d_.fb->size());
   t += cost;
   d_.eq->schedule_at(t, [this] {
     counters_.flushed_entries += d_.fb->flush();
@@ -769,6 +814,8 @@ void Driver::watchdog_check() {
   ++counters_.watchdog_rescues;
   ++counters_.replays_issued;
   prof_.add(CostCategory::ErrorRecovery, cm_.replay_issue);
+  trace_instant(TraceCategory::Recovery, "recover.watchdog_rescue",
+                d_.eq->now(), counters_.watchdog_rescues);
   SimTime fire_at = std::max(d_.eq->now() + cm_.replay_issue,
                              migrations_inflight_until_);
   d_.eq->schedule_at(fire_at, [this] { d_.gpu->replay(); });

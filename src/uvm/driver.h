@@ -33,6 +33,7 @@
 #include "mem/pma.h"
 #include "sim/event_queue.h"
 #include "sim/hazards.h"
+#include "sim/trace.h"
 #include "uvm/adaptive_prefetcher.h"
 #include "uvm/cost_model.h"
 #include "uvm/counters.h"
@@ -57,6 +58,9 @@ class Driver {
     AccessCounters* ac;
     /// Optional hazard injector (null in hazard-free runs).
     HazardInjector* hazards = nullptr;
+    /// Optional pass tracer (null = tracing disabled; the driver then does
+    /// zero tracing work — no stores, no allocations).
+    Tracer* tracer = nullptr;
   };
 
   Driver(const DriverConfig& cfg, const CostModel& cm, const Deps& deps,
@@ -154,6 +158,25 @@ class Driver {
   SimTime promote_hot_region(const AccessCounterNotification& n, SimTime t);
   /// Density threshold for this pass (config or adaptive).
   [[nodiscard]] std::uint32_t effective_threshold() const;
+
+  /// Tracing shims: single pointer test on the disabled path.
+  void trace_span(TraceCategory c, const char* name, SimTime t0, SimTime t1,
+                  std::uint64_t id = 0, const char* a1n = nullptr,
+                  std::uint64_t a1 = 0, const char* a2n = nullptr,
+                  std::uint64_t a2 = 0, const char* a3n = nullptr,
+                  std::uint64_t a3 = 0) {
+    if (d_.tracer != nullptr) {
+      d_.tracer->span(c, name, t0, t1, id, a1n, a1, a2n, a2, a3n, a3);
+    }
+  }
+  void trace_instant(TraceCategory c, const char* name, SimTime t,
+                     std::uint64_t id = 0, const char* a1n = nullptr,
+                     std::uint64_t a1 = 0, const char* a2n = nullptr,
+                     std::uint64_t a2 = 0) {
+    if (d_.tracer != nullptr) {
+      d_.tracer->instant(c, name, t, id, a1n, a1, a2n, a2);
+    }
+  }
 
   DriverConfig cfg_;
   CostModel cm_;

@@ -10,7 +10,7 @@ void LruEviction::on_slice_allocated(SliceKey k) {
     return;
   }
   list_.push_front(k);
-  pos_.emplace(k.packed(), list_.begin());
+  pos_.emplace(k.packed(), Pos{list_.begin(), false});
 }
 
 void LruEviction::on_slice_touched(SliceKey k) { promote(k); }
@@ -18,23 +18,72 @@ void LruEviction::on_slice_touched(SliceKey k) { promote(k); }
 void LruEviction::promote(SliceKey k) {
   auto it = pos_.find(k.packed());
   if (it == pos_.end()) return;
-  list_.splice(list_.begin(), list_, it->second);
+  Pos& p = it->second;
+  // splice() keeps the iterator valid whichever list the node came from.
+  list_.splice(list_.begin(), p.parked ? parked_ : list_, p.it);
+  p.parked = false;
 }
 
 void LruEviction::on_slice_evicted(SliceKey k) {
   auto it = pos_.find(k.packed());
   if (it == pos_.end()) return;
-  list_.erase(it->second);
+  (it->second.parked ? parked_ : list_).erase(it->second.it);
   pos_.erase(it);
 }
 
 std::optional<SliceKey> LruEviction::pick_victim(
     const std::function<bool(SliceKey)>& eligible) {
   // Scan from the LRU end for the first eligible slice.
+  last_scan_len_ = 0;
   for (auto it = list_.rbegin(); it != list_.rend(); ++it) {
+    ++last_scan_len_;
     if (eligible(*it)) return *it;
   }
   return std::nullopt;
+}
+
+std::optional<SliceKey> LruEviction::pick_victim_classified(
+    const std::function<VictimEligibility(SliceKey)>& classify) {
+  last_scan_len_ = 0;
+  std::optional<SliceKey> fallback;
+  auto it = list_.end();
+  while (it != list_.begin()) {
+    auto cur = std::prev(it);
+    ++last_scan_len_;
+    switch (classify(*cur)) {
+      case VictimEligibility::Preferred:
+        return *cur;
+      case VictimEligibility::Eligible:
+        if (!fallback) fallback = *cur;
+        it = cur;
+        break;
+      case VictimEligibility::Ineligible:
+        if (in_round_) {
+          // Park it so later scans in this round skip it; `it` stays valid
+          // and now neighbours cur's former predecessor.
+          pos_[cur->packed()].parked = true;
+          parked_.splice(parked_.end(), list_, cur);
+        } else {
+          it = cur;
+        }
+        break;
+    }
+  }
+  return fallback;
+}
+
+void LruEviction::begin_victim_round() { in_round_ = true; }
+
+void LruEviction::end_victim_round() {
+  in_round_ = false;
+  if (parked_.empty()) return;
+  // parked_ holds the skipped slices most-LRU first; reversing and
+  // appending restores the exact pre-round tail order.
+  parked_.reverse();
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    pos_[it->packed()].parked = false;
+  }
+  list_.splice(list_.end(), parked_);
 }
 
 }  // namespace uvmsim

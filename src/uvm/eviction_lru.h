@@ -5,6 +5,14 @@
 // slice that becomes fully resident stops faulting, is never promoted again,
 // decays to the LRU tail, and gets evicted precisely because it was hot
 // enough to be fetched completely.
+//
+// Victim-scan cost: pick_victim() scans from the LRU end past every
+// ineligible (pinned / in-flight) slice on every call — O(n) per eviction
+// under oversubscription. Inside a victim round (begin_victim_round /
+// end_victim_round, during which eligibility is stable) the classified pick
+// parks checked-ineligible slices on a side list so subsequent scans in the
+// round skip them; end_victim_round() splices them back in their original
+// LRU order, so the observable eviction order is unchanged.
 #pragma once
 
 #include <list>
@@ -21,13 +29,24 @@ class LruEviction : public EvictionPolicy {
   void on_slice_evicted(SliceKey k) override;
   std::optional<SliceKey> pick_victim(
       const std::function<bool(SliceKey)>& eligible) override;
+  std::optional<SliceKey> pick_victim_classified(
+      const std::function<VictimEligibility(SliceKey)>& classify) override;
+
+  void begin_victim_round() override;
+  void end_victim_round() override;
+  [[nodiscard]] std::size_t last_scan_length() const override {
+    return last_scan_len_;
+  }
 
   [[nodiscard]] const char* name() const override { return "lru"; }
   [[nodiscard]] std::size_t tracked() const override { return pos_.size(); }
 
-  /// MRU-to-LRU snapshot (tests / analysis).
+  /// MRU-to-LRU snapshot (tests / analysis); includes parked slices in
+  /// their logical positions at the tail.
   [[nodiscard]] std::vector<SliceKey> order() const {
-    return {list_.begin(), list_.end()};
+    std::vector<SliceKey> out{list_.begin(), list_.end()};
+    out.insert(out.end(), parked_.rbegin(), parked_.rend());
+    return out;
   }
 
  protected:
@@ -35,8 +54,18 @@ class LruEviction : public EvictionPolicy {
   void promote(SliceKey k);
 
  private:
-  std::list<SliceKey> list_;  ///< front = MRU, back = LRU
-  std::unordered_map<std::uint64_t, std::list<SliceKey>::iterator> pos_;
+  struct Pos {
+    std::list<SliceKey>::iterator it;
+    bool parked = false;
+  };
+
+  std::list<SliceKey> list_;    ///< front = MRU, back = LRU
+  /// Checked-ineligible slices parked during a victim round, in scan order
+  /// (most-LRU first); spliced back to the tail at end_victim_round().
+  std::list<SliceKey> parked_;
+  std::unordered_map<std::uint64_t, Pos> pos_;
+  bool in_round_ = false;
+  std::size_t last_scan_len_ = 0;
 };
 
 }  // namespace uvmsim

@@ -26,6 +26,16 @@ struct SliceKey {
   }
 };
 
+/// Victim classification for the single-scan pick: the driver prefers
+/// evicting slices whose range is NOT advised to live on the GPU, falls
+/// back to anything eligible, and never touches ineligible (faulting-block
+/// or service-locked) slices.
+enum class VictimEligibility : std::uint8_t {
+  Ineligible,  ///< pinned / in-flight: never a victim
+  Eligible,    ///< acceptable fallback victim
+  Preferred,   ///< evict these first (no preferred-location hint)
+};
+
 class EvictionPolicy {
  public:
   virtual ~EvictionPolicy() = default;
@@ -43,6 +53,36 @@ class EvictionPolicy {
   /// Returns nullopt if no eligible victim exists.
   virtual std::optional<SliceKey> pick_victim(
       const std::function<bool(SliceKey)>& eligible) = 0;
+
+  /// Single-scan victim pick with preference classes: returns the least
+  /// recently used Preferred slice if one exists, else the least recently
+  /// used Eligible slice, else nullopt. Semantically identical to two
+  /// pick_victim() passes (Preferred-only, then non-Ineligible) but lets a
+  /// policy do it in one scan and park ineligible slices during a round.
+  virtual std::optional<SliceKey> pick_victim_classified(
+      const std::function<VictimEligibility(SliceKey)>& classify) {
+    auto v = pick_victim([&](SliceKey k) {
+      return classify(k) == VictimEligibility::Preferred;
+    });
+    if (!v) {
+      v = pick_victim([&](SliceKey k) {
+        return classify(k) != VictimEligibility::Ineligible;
+      });
+    }
+    return v;
+  }
+
+  /// Brackets a sequence of pick_victim_classified() calls during which the
+  /// classification of any given slice is stable (the driver's
+  /// ensure_backing loop: one faulting block, no lock changes). Policies
+  /// may cache ineligibility across picks within a round — e.g. the LRU
+  /// parks checked-ineligible slices so repeated victim scans stop
+  /// rescanning a pinned/in-flight tail. A no-op by default.
+  virtual void begin_victim_round() {}
+  virtual void end_victim_round() {}
+
+  /// Slices examined by the most recent victim scan (instrumentation).
+  [[nodiscard]] virtual std::size_t last_scan_length() const { return 0; }
 
   /// Volta access-counter notification (ignored by the stock LRU).
   virtual void on_access_notification(const AccessCounterNotification&) {}

@@ -3,16 +3,19 @@
 #include <algorithm>
 #include <map>
 
+#include "sim/trace.h"
+
 namespace uvmsim {
 
 FaultBatch Preprocessor::fetch(FaultBuffer& fb, std::uint32_t batch_size,
                                const CostModel& cm, SimTime& t,
                                FetchPolicy policy,
-                               LogHistogram* queue_latency) {
+                               LogHistogram* queue_latency, Tracer* tracer) {
   FaultBatch batch;
   std::vector<FaultEntry> entries;
   entries.reserve(std::min<std::size_t>(batch_size, fb.size()));
 
+  const SimTime t_pop0 = t;
   while (entries.size() < batch_size) {
     const FaultEntry* head = fb.peek();
     if (head == nullptr) break;
@@ -28,16 +31,30 @@ FaultBatch Preprocessor::fetch(FaultBuffer& fb, std::uint32_t batch_size,
       t += static_cast<SimDuration>(polls) * cm.poll_retry;
     }
     entries.push_back(*fb.pop());
-    if (queue_latency != nullptr && t >= entries.back().raised_at) {
-      queue_latency->add(t - entries.back().raised_at);
+    if (queue_latency != nullptr) {
+      const FaultEntry& e = entries.back();
+      if (t >= e.raised_at) {
+        queue_latency->add(t - e.raised_at);
+      } else {
+        // A corrupted or reordered entry can carry a raise time past the
+        // fetch cursor; clamp the sample to zero and count the occurrence
+        // instead of silently losing it.
+        queue_latency->add(0);
+        ++batch.latency_clamps;
+      }
     }
     t += cm.fetch_per_fault;
   }
   batch.fetched = static_cast<std::uint32_t>(entries.size());
   if (entries.empty()) return batch;
+  if (tracer != nullptr) {
+    tracer->span(TraceCategory::Fetch, "fetch.pop", t_pop0, t, 0, "fetched",
+                 batch.fetched, "polls", batch.polls);
+  }
 
   // Sort by faulting page, then bin per VABlock, deduplicating same-page
   // entries (parallel SMs frequently fault on the same page).
+  const SimTime t_sort0 = t;
   t += static_cast<SimDuration>(entries.size()) *
        (cm.sort_per_fault + cm.bin_per_fault);
   std::sort(entries.begin(), entries.end(),
@@ -51,6 +68,12 @@ FaultBatch Preprocessor::fetch(FaultBuffer& fb, std::uint32_t batch_size,
     FaultBatch::Bin& bin = bins[e.block];
     bin.block = e.block;
     ++bin.fault_entries;
+    // The access-type upgrade must happen before the dedup skip: a
+    // Read-then-Write pair on the same page still makes Write the bin's
+    // strongest access.
+    if (e.access == FaultAccessType::Write) {
+      bin.strongest_access = FaultAccessType::Write;
+    }
     if (e.page == prev_page) {
       ++batch.duplicates;
       t += cm.dedup_per_fault;
@@ -58,12 +81,13 @@ FaultBatch Preprocessor::fetch(FaultBuffer& fb, std::uint32_t batch_size,
     }
     prev_page = e.page;
     bin.faulted.set(page_in_block(e.page));
-    if (e.access == FaultAccessType::Write) {
-      bin.strongest_access = FaultAccessType::Write;
-    }
   }
   batch.bins.reserve(bins.size());
   for (auto& [id, bin] : bins) batch.bins.push_back(std::move(bin));
+  if (tracer != nullptr) {
+    tracer->span(TraceCategory::Fetch, "fetch.sort_bin", t_sort0, t, 0,
+                 "bins", batch.bins.size(), "dups", batch.duplicates);
+  }
   return batch;
 }
 

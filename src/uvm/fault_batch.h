@@ -19,6 +19,8 @@
 
 namespace uvmsim {
 
+class Tracer;
+
 struct FaultBatch {
   /// Faults for one VABlock.
   struct Bin {
@@ -32,6 +34,10 @@ struct FaultBatch {
   std::uint32_t fetched = 0;
   std::uint32_t duplicates = 0;  ///< same-page entries within the batch
   std::uint32_t polls = 0;       ///< not-ready poll iterations performed
+  /// Queue-latency samples whose raise time was past the fetch cursor
+  /// (possible with corrupted/reordered entries); clamped to zero rather
+  /// than dropped.
+  std::uint32_t latency_clamps = 0;
 
   [[nodiscard]] bool empty() const { return fetched == 0; }
 };
@@ -44,11 +50,14 @@ class Preprocessor {
   /// (default) the driver spins until the entry lands. The caller charges
   /// the elapsed time to the PreProcess category. If `queue_latency` is
   /// non-null, each fetched entry's buffer-residence time (fetch cursor
-  /// minus raise time) is recorded there.
+  /// minus raise time) is recorded there — samples with a raise time past
+  /// the cursor clamp to zero and count in FaultBatch::latency_clamps.
+  /// A non-null `tracer` receives pop/poll and sort/bin sub-spans.
   static FaultBatch fetch(FaultBuffer& fb, std::uint32_t batch_size,
                           const CostModel& cm, SimTime& t,
                           FetchPolicy policy = FetchPolicy::PollReady,
-                          LogHistogram* queue_latency = nullptr);
+                          LogHistogram* queue_latency = nullptr,
+                          Tracer* tracer = nullptr);
 };
 
 }  // namespace uvmsim

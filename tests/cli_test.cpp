@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -101,6 +102,51 @@ TEST(Cli, TraceDumpAndReplayRoundTrip) {
   EXPECT_EQ(replay.exit_code, 0) << replay.output;
   EXPECT_NE(replay.output.find("faults_serviced"), std::string::npos);
   std::remove(trace.c_str());
+}
+
+TEST(Cli, DriverTraceOutWritesChromeJson) {
+  std::string trace = std::string(::testing::TempDir()) + "/driver.trace.json";
+  CmdResult r = run_cli(
+      "--workload random --size-mib 24 --gpu-mib 16 --trace-out " + trace);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("driver trace:"), std::string::npos);
+  EXPECT_NE(r.output.find("p99_us"), std::string::npos);  // summary table
+  std::ifstream f(trace);
+  ASSERT_TRUE(f.good());
+  std::string json((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  for (const char* cat :
+       {"fetch", "service", "prefetch", "replay", "eviction"}) {
+    EXPECT_NE(json.find("\"cat\":\"" + std::string(cat) + "\""),
+              std::string::npos)
+        << "missing category " << cat;
+  }
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, TraceCategoriesFilterAndValidation) {
+  std::string trace = std::string(::testing::TempDir()) + "/evict.trace.json";
+  CmdResult r = run_cli(
+      "--workload random --size-mib 24 --gpu-mib 16 "
+      "--trace-categories eviction --trace-out " + trace);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream f(trace);
+  std::string json((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"cat\":\"eviction\""), std::string::npos);
+  EXPECT_EQ(json.find("\"cat\":\"service\",\"ph\":"), std::string::npos);
+  std::remove(trace.c_str());
+
+  CmdResult bad = run_cli("--trace-out x.json --trace-categories bogus");
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.output.find("bad --trace-categories"), std::string::npos);
+}
+
+TEST(Cli, NoTraceFlagsNoTraceOutput) {
+  CmdResult r = run_cli("--workload regular --size-mib 4 --gpu-mib 16");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.find("driver trace"), std::string::npos);
 }
 
 TEST(Cli, ReplayMissingTraceFails) {

@@ -3,10 +3,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
 namespace uvmsim {
 namespace {
 
 auto any = [](SliceKey) { return true; };
+
+std::uint64_t lcg_next(std::uint64_t& s) {
+  s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return s >> 11;
+}
 
 TEST(LruEviction, VictimIsLeastRecentlyAllocated) {
   LruEviction lru;
@@ -109,6 +119,155 @@ TEST(LruEviction, HotResidentDataDecaysWithoutFaults) {
   auto v = lru.pick_victim(any);
   ASSERT_TRUE(v);
   EXPECT_EQ(v->block, 1u);  // the hot block is the victim
+}
+
+TEST(LruEviction, ClassifiedPickMatchesTwoPassReference) {
+  // Property: the single classified scan must pick exactly what the old
+  // two-pass search (Preferred-only, then anything non-Ineligible) picked.
+  std::uint64_t s = 0x5EED;
+  for (int iter = 0; iter < 100; ++iter) {
+    LruEviction lru;
+    std::unordered_map<std::uint64_t, VictimEligibility> cls;
+    int n = 1 + static_cast<int>(lcg_next(s) % 12);
+    for (int i = 0; i < n; ++i) {
+      SliceKey k{static_cast<VaBlockId>(i + 1), 0};
+      lru.on_slice_allocated(k);
+      cls[k.packed()] = static_cast<VictimEligibility>(lcg_next(s) % 3);
+    }
+    auto classify = [&](SliceKey k) { return cls.at(k.packed()); };
+    std::optional<SliceKey> expect;
+    auto order = lru.order();  // MRU first; scan is from the LRU end
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if (classify(*it) == VictimEligibility::Preferred) {
+        expect = *it;
+        break;
+      }
+    }
+    if (!expect) {
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if (classify(*it) != VictimEligibility::Ineligible) {
+          expect = *it;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(lru.pick_victim_classified(classify), expect) << "iter " << iter;
+  }
+}
+
+TEST(LruEviction, RoundParkingKeepsEvictionOrderUnchanged) {
+  // Drain victims with rounds+parking on one instance and with the plain
+  // two-pass scan on a twin: the victim sequence and the surviving order
+  // must be identical.
+  std::uint64_t s = 0xABCD;
+  for (int iter = 0; iter < 30; ++iter) {
+    LruEviction fast, naive;
+    std::unordered_map<std::uint64_t, VictimEligibility> cls;
+    const int n = 16;
+    for (int i = 0; i < n; ++i) {
+      SliceKey k{static_cast<VaBlockId>(i + 1), 0};
+      fast.on_slice_allocated(k);
+      naive.on_slice_allocated(k);
+      cls[k.packed()] = static_cast<VictimEligibility>(lcg_next(s) % 3);
+    }
+    auto classify = [&](SliceKey k) { return cls.at(k.packed()); };
+    auto naive_pick = [&] {
+      auto v = naive.pick_victim([&](SliceKey k) {
+        return classify(k) == VictimEligibility::Preferred;
+      });
+      if (!v) {
+        v = naive.pick_victim([&](SliceKey k) {
+          return classify(k) != VictimEligibility::Ineligible;
+        });
+      }
+      return v;
+    };
+    fast.begin_victim_round();
+    for (;;) {
+      auto a = fast.pick_victim_classified(classify);
+      auto b = naive_pick();
+      EXPECT_EQ(a, b) << "iter " << iter;
+      if (!a || !b) break;
+      fast.on_slice_evicted(*a);
+      naive.on_slice_evicted(*b);
+    }
+    fast.end_victim_round();
+    EXPECT_EQ(fast.order(), naive.order()) << "iter " << iter;
+  }
+}
+
+TEST(LruEviction, EndRoundRestoresExactOrder) {
+  LruEviction lru;
+  for (VaBlockId b = 1; b <= 5; ++b) lru.on_slice_allocated({b, 0});
+  auto before = lru.order();
+  lru.begin_victim_round();
+  EXPECT_FALSE(
+      lru.pick_victim_classified([](SliceKey) {
+           return VictimEligibility::Ineligible;
+         }).has_value());
+  // Parked slices still appear at their logical positions mid-round.
+  EXPECT_EQ(lru.order(), before);
+  lru.end_victim_round();
+  EXPECT_EQ(lru.order(), before);
+}
+
+TEST(LruEviction, TouchDuringRoundPromotesParkedSlice) {
+  LruEviction lru;
+  for (VaBlockId b = 1; b <= 3; ++b) lru.on_slice_allocated({b, 0});
+  // MRU order now 3, 2, 1.
+  lru.begin_victim_round();
+  auto v = lru.pick_victim_classified([](SliceKey k) {
+    return k.block == 3 ? VictimEligibility::Preferred
+                        : VictimEligibility::Ineligible;
+  });
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->block, 3u);  // 1 and 2 were parked on the way
+  lru.on_slice_touched({1, 0});  // a parked slice can still be promoted
+  lru.end_victim_round();
+  auto order = lru.order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].block, 1u);  // MRU: the touch won
+  EXPECT_EQ(order[1].block, 3u);
+  EXPECT_EQ(order[2].block, 2u);
+}
+
+TEST(LruEviction, EvictParkedSliceDuringRound) {
+  LruEviction lru;
+  for (VaBlockId b = 1; b <= 3; ++b) lru.on_slice_allocated({b, 0});
+  lru.begin_victim_round();
+  EXPECT_FALSE(
+      lru.pick_victim_classified([](SliceKey) {
+           return VictimEligibility::Ineligible;
+         }).has_value());
+  lru.on_slice_evicted({1, 0});  // parked slices can still be removed
+  lru.end_victim_round();
+  EXPECT_EQ(lru.tracked(), 2u);
+  auto order = lru.order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].block, 3u);
+  EXPECT_EQ(order[1].block, 2u);
+}
+
+TEST(LruEviction, RoundScanSkipsParkedTail) {
+  // The perf fix under test: with a long ineligible LRU tail, the second
+  // scan of a round must not re-walk it.
+  LruEviction lru;
+  for (VaBlockId b = 1; b <= 10; ++b) lru.on_slice_allocated({b, 0});
+  auto classify = [](SliceKey k) {
+    return k.block >= 9 ? VictimEligibility::Preferred
+                        : VictimEligibility::Ineligible;
+  };
+  lru.begin_victim_round();
+  auto v1 = lru.pick_victim_classified(classify);
+  ASSERT_TRUE(v1);
+  EXPECT_EQ(v1->block, 9u);
+  EXPECT_EQ(lru.last_scan_length(), 9u);  // walked the 8 ineligible + hit
+  lru.on_slice_evicted(*v1);
+  auto v2 = lru.pick_victim_classified(classify);
+  ASSERT_TRUE(v2);
+  EXPECT_EQ(v2->block, 10u);
+  EXPECT_EQ(lru.last_scan_length(), 1u);  // the parked tail was skipped
+  lru.end_victim_round();
 }
 
 TEST(AccessCounterEviction, NotificationPromotes) {

@@ -100,6 +100,60 @@ TEST_F(FaultBatchTest, WriteAccessDominates) {
   EXPECT_EQ(b.bins[0].strongest_access, FaultAccessType::Write);
 }
 
+TEST_F(FaultBatchTest, ReadThenWriteDuplicateUpgradesAccess) {
+  // Regression: the dedup skip used to run before the access-type check, so
+  // a Read-then-Write pair on one page kept the bin at Read and a later
+  // read-mostly duplication would wrongly keep a stale copy.
+  fb_.push(entry(7, FaultAccessType::Read), 0);
+  fb_.push(entry(7, FaultAccessType::Write), 0);
+  SimTime t = 1000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t);
+  EXPECT_EQ(b.duplicates, 1u);
+  ASSERT_EQ(b.bins.size(), 1u);
+  EXPECT_EQ(b.bins[0].strongest_access, FaultAccessType::Write);
+}
+
+TEST_F(FaultBatchTest, WriteThenReadDuplicateStaysWrite) {
+  // Both same-page orders must upgrade — the sort is by page only, so the
+  // relative order of equal-page entries is unspecified.
+  fb_.push(entry(7, FaultAccessType::Write), 0);
+  fb_.push(entry(7, FaultAccessType::Read), 0);
+  fb_.push(entry(7, FaultAccessType::Read), 0);
+  SimTime t = 1000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t);
+  EXPECT_EQ(b.duplicates, 2u);
+  ASSERT_EQ(b.bins.size(), 1u);
+  EXPECT_EQ(b.bins[0].strongest_access, FaultAccessType::Write);
+}
+
+TEST_F(FaultBatchTest, QueueLatencySampledPerFetchedEntry) {
+  fb_.push(entry(1), 100);
+  fb_.push(entry(2), 200);
+  LogHistogram lat;
+  SimTime t = 10000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t, FetchPolicy::PollReady, &lat);
+  EXPECT_EQ(b.fetched, 2u);
+  EXPECT_EQ(lat.count(), 2u);
+  EXPECT_EQ(b.latency_clamps, 0u);
+}
+
+TEST_F(FaultBatchTest, ClampsQueueLatencyFromFutureRaiseTime) {
+  // Regression: an entry whose (corrupted) raise time is past the fetch
+  // cursor used to be silently skipped, undercounting the histogram. It now
+  // contributes a zero sample and is counted in latency_clamps.
+  FaultEntry e = entry(3);
+  e.raised_at = 1'000'000;  // far past where the cursor will be
+  e.ready_at = 0;
+  ASSERT_TRUE(fb_.push_preserving_timestamps(e));
+  fb_.push(entry(4), 0);
+  LogHistogram lat;
+  SimTime t = 1000;
+  auto b = Preprocessor::fetch(fb_, 256, cm_, t, FetchPolicy::PollReady, &lat);
+  EXPECT_EQ(b.fetched, 2u);
+  EXPECT_EQ(lat.count(), 2u);  // the clamped sample is recorded, not dropped
+  EXPECT_EQ(b.latency_clamps, 1u);
+}
+
 TEST_F(FaultBatchTest, StopAtNotReadyClosesBatchEarly) {
   fb_.push(entry(1), 0);     // ready at 300
   fb_.push(entry(2), 5000);  // ready at 5300

@@ -2,10 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 namespace uvmsim {
 namespace {
+
+/// Deterministic pseudo-random stream for the property tests.
+std::uint64_t lcg_next(std::uint64_t& s) {
+  s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return s >> 11;
+}
+
+/// Reference for LogHistogram::quantile: the midpoint of the bucket holding
+/// the rank-floor(q*(n-1)) sample of the sorted inputs ([0,1) reads as 0.5).
+double bucket_midpoint_of(std::uint64_t v) {
+  if (v == 0) return 0.5;
+  int w = std::bit_width(v);
+  return (std::ldexp(1.0, w - 1) + std::ldexp(1.0, w)) / 2.0;
+}
 
 TEST(Accumulator, EmptyIsZero) {
   Accumulator a;
@@ -57,6 +75,43 @@ TEST(Accumulator, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(Accumulator, MergePropertyRandomSplits) {
+  // Chan merge must match the sequential accumulation for any split point,
+  // including empty and singleton halves.
+  std::uint64_t s = 0xC0FFEE;
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(static_cast<double>(lcg_next(s) % 10000) / 7.0 - 500.0);
+  }
+  Accumulator all;
+  for (double x : xs) all.add(x);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{13},
+                            std::size_t{100}, std::size_t{199},
+                            std::size_t{200}}) {
+    Accumulator left, right;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      (i < split ? left : right).add(xs[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+    EXPECT_NEAR(left.sum(), all.sum(), 1e-6);
+  }
+}
+
+TEST(Accumulator, MergeTwoSingletons) {
+  Accumulator a, b;
+  a.add(2.0);
+  b.add(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);  // ((2-4)^2 + (6-4)^2) / (2-1)
+}
+
 TEST(LogHistogram, CountsAndQuantiles) {
   LogHistogram h;
   for (std::uint64_t i = 0; i < 100; ++i) h.add(10);  // bucket [8,16)
@@ -89,6 +144,73 @@ TEST(LogHistogram, ToStringListsNonEmptyBuckets) {
   std::string s = h.to_string();
   EXPECT_NE(s.find("2 4 1"), std::string::npos);
   EXPECT_NE(s.find("64 128 1"), std::string::npos);
+}
+
+TEST(LogHistogram, QuantileMatchesBruteForceReference) {
+  // Property check against a sorted-sample reference: the quantile must be
+  // the midpoint of the bucket holding the rank-floor(q*(n-1)) value.
+  std::uint64_t s = 0xBEEF;
+  LogHistogram h;
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 500; ++i) {
+    // Mix magnitudes across many buckets, including zeros.
+    std::uint64_t v = lcg_next(s) >> (lcg_next(s) % 50);
+    if (i % 17 == 0) v = 0;
+    vals.push_back(v);
+    h.add(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    auto target = static_cast<std::size_t>(
+        q * static_cast<double>(vals.size() - 1));
+    EXPECT_DOUBLE_EQ(h.quantile(q), bucket_midpoint_of(vals[target]))
+        << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, TopBucketQuantileAndEdges) {
+  // The top bucket's upper edge (2^64) does not fit in a uint64; the dump
+  // must not shift-overflow and the quantile must stay inside the bucket.
+  LogHistogram h;
+  h.add(~std::uint64_t{0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), bucket_midpoint_of(~std::uint64_t{0}));
+  std::string s = h.to_string();
+  EXPECT_NE(s.find("9223372036854775808 18446744073709551615 1"),
+            std::string::npos)
+      << s;
+}
+
+TEST(SampleSet, QuantileMatchesNearestRankReference) {
+  // Nearest-rank definition: the smallest sample whose cumulative frequency
+  // reaches q — sorted[ceil(q*n)-1] for q > 0, sorted[0] at q = 0.
+  std::uint64_t s = 0xFACE;
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                        std::size_t{10}, std::size_t{101}}) {
+    SampleSet ss;
+    std::vector<double> vals;
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = static_cast<double>(lcg_next(s) % 1000);
+      vals.push_back(v);
+      ss.add(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      std::size_t idx =
+          q <= 0.0 ? 0
+                   : static_cast<std::size_t>(
+                         std::ceil(q * static_cast<double>(n))) -
+                         1;
+      EXPECT_DOUBLE_EQ(ss.quantile(q), vals[std::min(idx, n - 1)])
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(SampleSet, EvenSizeMedianIsLowerMiddle) {
+  // Regression: the old rounding picked the upper middle for even sizes.
+  SampleSet ss;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) ss.add(v);
+  EXPECT_DOUBLE_EQ(ss.quantile(0.5), 2.0);
 }
 
 TEST(SampleSet, ExactQuantiles) {

@@ -51,6 +51,9 @@ struct CliOptions {
   bool explicit_baseline = false;
   std::string dump_trace;    // capture the workload's trace to this file
   std::string replay_trace;  // run this trace file instead of --workload
+  std::string trace_out;     // driver-pass trace (Chrome trace_event JSON)
+  std::string trace_categories = "all";
+  std::uint64_t trace_cap = TraceConfig{}.capacity;
 };
 
 void print_help() {
@@ -79,6 +82,15 @@ hazard injection (all rates in [0,1), default 0 = no injection):
   --hazard-ac-drop-rate R    probability an access-counter notification is
                              lost
   --hazard-seed N            hazard stream seed (default: derived from --seed)
+
+driver-pass tracing (viewable in Perfetto / chrome://tracing):
+  --trace-out FILE     record per-pass driver spans and write Chrome
+                       trace_event JSON to FILE; also prints a per-category
+                       latency summary
+  --trace-categories L comma list of fetch,service,prefetch,replay,eviction,
+                       recovery, or "all" (default all)
+  --trace-cap N        trace ring-buffer capacity in events (default 65536;
+                       oldest events are overwritten past the cap)
 
   --pattern            print the Fig.7-style fault scatter
   --baseline           also run the explicit-transfer baseline
@@ -166,6 +178,15 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (a == "--replay-trace") {
       if (!(v = need_value(i))) return std::nullopt;
       o.replay_trace = v;
+    } else if (a == "--trace-out") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.trace_out = v;
+    } else if (a == "--trace-categories") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.trace_categories = v;
+    } else if (a == "--trace-cap") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.trace_cap = std::stoull(v);
     } else {
       std::cerr << "unknown option: " << a << " (try --help)\n";
       return std::nullopt;
@@ -226,6 +247,21 @@ std::optional<SimConfig> to_config(const CliOptions& o) {
   cfg.hazards.fb_corrupt_rate = o.hazard_fb;
   cfg.hazards.pma_fail_rate = o.hazard_pma;
   cfg.hazards.ac_drop_rate = o.hazard_ac;
+
+  if (!o.trace_out.empty()) {
+    auto mask = parse_trace_categories(o.trace_categories);
+    if (!mask) {
+      std::cerr << "bad --trace-categories: " << o.trace_categories << "\n";
+      return std::nullopt;
+    }
+    if (o.trace_cap == 0) {
+      std::cerr << "bad --trace-cap: must be >= 1\n";
+      return std::nullopt;
+    }
+    cfg.trace.enabled = true;
+    cfg.trace.categories = *mask;
+    cfg.trace.capacity = o.trace_cap;
+  }
 
   if (o.thrash != "off") {
     cfg.driver.thrashing.enabled = true;
@@ -361,6 +397,20 @@ int run_cli(int argc, char** argv) {
               << "|\n"
               << "  evictions |" << tl.sparkline(FaultLogKind::Eviction, 100)
               << "|\n";
+  }
+
+  if (!opts->trace_out.empty() && sim.tracer() != nullptr) {
+    const Tracer& tr = *sim.tracer();
+    std::ofstream out(opts->trace_out);
+    if (!out) {
+      std::cerr << "cannot write trace: " << opts->trace_out << "\n";
+      return 1;
+    }
+    write_chrome_trace(out, tr);
+    std::cout << "\ndriver trace: " << tr.recorded() << " events recorded, "
+              << tr.dropped() << " overwritten -> " << opts->trace_out
+              << "\n\n"
+              << summarize_trace(tr).to_string();
   }
 
   if (opts->explicit_baseline) {
