@@ -153,21 +153,24 @@ void write_event_json(std::ostream& os, const TraceEvent& e) {
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
-  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  // One separator scheme (comma before every record but the first) covers
+  // metadata and events alike, so an empty event list stays valid JSON.
+  const char* sep = "\n";
   // Name the per-category tracks so Perfetto labels them.
   for (std::uint32_t i = 0;
        i < static_cast<std::uint32_t>(TraceCategory::kCount); ++i) {
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << i + 1
-       << ",\"args\":{\"name\":\""
-       << to_string(static_cast<TraceCategory>(i)) << "\"}},\n";
+    os << sep << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << i + 1 << ",\"args\":{\"name\":\""
+       << to_string(static_cast<TraceCategory>(i)) << "\"}}";
+    sep = ",\n";
   }
-  auto evs = tracer.events();
-  for (std::size_t i = 0; i < evs.size(); ++i) {
-    write_event_json(os, evs[i]);
-    if (i + 1 < evs.size()) os << ',';
-    os << '\n';
+  for (const TraceEvent& e : tracer.events()) {
+    os << sep;
+    write_event_json(os, e);
+    sep = ",\n";
   }
-  os << "]}\n";
+  os << "\n]}\n";
 }
 
 TraceSummary summarize_trace(const Tracer& tracer) {

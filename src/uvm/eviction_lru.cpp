@@ -18,16 +18,15 @@ void LruEviction::on_slice_touched(SliceKey k) { promote(k); }
 void LruEviction::promote(SliceKey k) {
   auto it = pos_.find(k.packed());
   if (it == pos_.end()) return;
-  Pos& p = it->second;
-  // splice() keeps the iterator valid whichever list the node came from.
-  list_.splice(list_.begin(), p.parked ? parked_ : list_, p.it);
-  p.parked = false;
+  list_.splice(list_.begin(), list_, it->second.it);
+  // A touched slice is active again; let the next scan reclassify it.
+  it->second.parked = false;
 }
 
 void LruEviction::on_slice_evicted(SliceKey k) {
   auto it = pos_.find(k.packed());
   if (it == pos_.end()) return;
-  (it->second.parked ? parked_ : list_).erase(it->second.it);
+  list_.erase(it->second.it);
   pos_.erase(it);
 }
 
@@ -46,25 +45,22 @@ std::optional<SliceKey> LruEviction::pick_victim_classified(
     const std::function<VictimEligibility(SliceKey)>& classify) {
   last_scan_len_ = 0;
   std::optional<SliceKey> fallback;
-  auto it = list_.end();
-  while (it != list_.begin()) {
-    auto cur = std::prev(it);
+  for (auto it = list_.rbegin(); it != list_.rend(); ++it) {
+    Pos& p = pos_.find(it->packed())->second;
+    if (p.parked) continue;  // checked-ineligible earlier this round
     ++last_scan_len_;
-    switch (classify(*cur)) {
+    switch (classify(*it)) {
       case VictimEligibility::Preferred:
-        return *cur;
+        return *it;
       case VictimEligibility::Eligible:
-        if (!fallback) fallback = *cur;
-        it = cur;
+        if (!fallback) fallback = *it;
         break;
       case VictimEligibility::Ineligible:
         if (in_round_) {
-          // Park it so later scans in this round skip it; `it` stays valid
-          // and now neighbours cur's former predecessor.
-          pos_[cur->packed()].parked = true;
-          parked_.splice(parked_.end(), list_, cur);
-        } else {
-          it = cur;
+          // Mark in place — the node never moves, so LRU order stays exact
+          // even if the round ends mid-scan with eligible slices ahead.
+          p.parked = true;
+          parked_keys_.push_back(it->packed());
         }
         break;
     }
@@ -76,14 +72,13 @@ void LruEviction::begin_victim_round() { in_round_ = true; }
 
 void LruEviction::end_victim_round() {
   in_round_ = false;
-  if (parked_.empty()) return;
-  // parked_ holds the skipped slices most-LRU first; reversing and
-  // appending restores the exact pre-round tail order.
-  parked_.reverse();
-  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
-    pos_[it->packed()].parked = false;
+  // Nodes were never moved; just clear the skip marks. Keys whose slice was
+  // evicted mid-round are simply gone from pos_.
+  for (std::uint64_t key : parked_keys_) {
+    auto it = pos_.find(key);
+    if (it != pos_.end()) it->second.parked = false;
   }
-  list_.splice(list_.end(), parked_);
+  parked_keys_.clear();
 }
 
 }  // namespace uvmsim

@@ -10,13 +10,14 @@
 // ineligible (pinned / in-flight) slice on every call — O(n) per eviction
 // under oversubscription. Inside a victim round (begin_victim_round /
 // end_victim_round, during which eligibility is stable) the classified pick
-// parks checked-ineligible slices on a side list so subsequent scans in the
-// round skip them; end_victim_round() splices them back in their original
-// LRU order, so the observable eviction order is unchanged.
+// marks checked-ineligible slices in place so subsequent scans in the round
+// skip them without reclassifying; nodes are never moved, so the observable
+// eviction order is unchanged no matter when the round ends.
 #pragma once
 
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "uvm/eviction_policy.h"
 
@@ -41,12 +42,9 @@ class LruEviction : public EvictionPolicy {
   [[nodiscard]] const char* name() const override { return "lru"; }
   [[nodiscard]] std::size_t tracked() const override { return pos_.size(); }
 
-  /// MRU-to-LRU snapshot (tests / analysis); includes parked slices in
-  /// their logical positions at the tail.
+  /// MRU-to-LRU snapshot (tests / analysis).
   [[nodiscard]] std::vector<SliceKey> order() const {
-    std::vector<SliceKey> out{list_.begin(), list_.end()};
-    out.insert(out.end(), parked_.rbegin(), parked_.rend());
-    return out;
+    return {list_.begin(), list_.end()};
   }
 
  protected:
@@ -56,13 +54,13 @@ class LruEviction : public EvictionPolicy {
  private:
   struct Pos {
     std::list<SliceKey>::iterator it;
-    bool parked = false;
+    bool parked = false;  ///< checked-ineligible this round; scans skip it
   };
 
   std::list<SliceKey> list_;    ///< front = MRU, back = LRU
-  /// Checked-ineligible slices parked during a victim round, in scan order
-  /// (most-LRU first); spliced back to the tail at end_victim_round().
-  std::list<SliceKey> parked_;
+  /// Keys marked parked during the current victim round, so
+  /// end_victim_round() resets the flags in O(parked).
+  std::vector<std::uint64_t> parked_keys_;
   std::unordered_map<std::uint64_t, Pos> pos_;
   bool in_round_ = false;
   std::size_t last_scan_len_ = 0;

@@ -196,6 +196,80 @@ TEST(LruEviction, RoundParkingKeepsEvictionOrderUnchanged) {
   }
 }
 
+TEST(LruEviction, EarlyRoundEndAfterPreferredKeepsOrder) {
+  // Regression: with MRU order [Preferred, Ineligible, Eligible] the scan
+  // parks the Ineligible slice and returns the Preferred one while the
+  // Eligible slice is still in place. Ending the round right after that
+  // single eviction must leave the survivors in their original order
+  // (Ineligible still more MRU than Eligible).
+  LruEviction lru;
+  lru.on_slice_allocated({3, 0});  // Eligible — LRU
+  lru.on_slice_allocated({2, 0});  // Ineligible
+  lru.on_slice_allocated({1, 0});  // Preferred — MRU
+  auto classify = [](SliceKey k) {
+    switch (k.block) {
+      case 1: return VictimEligibility::Preferred;
+      case 2: return VictimEligibility::Ineligible;
+      default: return VictimEligibility::Eligible;
+    }
+  };
+  lru.begin_victim_round();
+  auto v = lru.pick_victim_classified(classify);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->block, 1u);
+  lru.on_slice_evicted(*v);
+  lru.end_victim_round();
+  auto order = lru.order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0].block, 2u);
+  EXPECT_EQ(order[1].block, 3u);
+  // The next eviction therefore takes the Eligible slice, not block 2.
+  auto next = lru.pick_victim_classified(classify);
+  ASSERT_TRUE(next);
+  EXPECT_EQ(next->block, 3u);
+}
+
+TEST(LruEviction, RoundEndedMidDrainKeepsEvictionOrderUnchanged) {
+  // Twin of RoundParkingKeepsEvictionOrderUnchanged that wraps every single
+  // pick in its own round instead of draining first — the pattern that
+  // exposed the parked-splice order corruption.
+  std::uint64_t s = 0xF00D;
+  for (int iter = 0; iter < 30; ++iter) {
+    LruEviction fast, naive;
+    std::unordered_map<std::uint64_t, VictimEligibility> cls;
+    const int n = 16;
+    for (int i = 0; i < n; ++i) {
+      SliceKey k{static_cast<VaBlockId>(i + 1), 0};
+      fast.on_slice_allocated(k);
+      naive.on_slice_allocated(k);
+      cls[k.packed()] = static_cast<VictimEligibility>(lcg_next(s) % 3);
+    }
+    auto classify = [&](SliceKey k) { return cls.at(k.packed()); };
+    auto naive_pick = [&] {
+      auto v = naive.pick_victim([&](SliceKey k) {
+        return classify(k) == VictimEligibility::Preferred;
+      });
+      if (!v) {
+        v = naive.pick_victim([&](SliceKey k) {
+          return classify(k) != VictimEligibility::Ineligible;
+        });
+      }
+      return v;
+    };
+    for (;;) {
+      fast.begin_victim_round();
+      auto a = fast.pick_victim_classified(classify);
+      fast.end_victim_round();
+      auto b = naive_pick();
+      EXPECT_EQ(a, b) << "iter " << iter;
+      if (!a || !b) break;
+      fast.on_slice_evicted(*a);
+      naive.on_slice_evicted(*b);
+      EXPECT_EQ(fast.order(), naive.order()) << "iter " << iter;
+    }
+  }
+}
+
 TEST(LruEviction, EndRoundRestoresExactOrder) {
   LruEviction lru;
   for (VaBlockId b = 1; b <= 5; ++b) lru.on_slice_allocated({b, 0});

@@ -126,6 +126,21 @@ TEST(ChromeTrace, EmitsWellFormedEvents) {
   EXPECT_NE(s.find("\"args\":{\"name\":\"eviction\"}"), std::string::npos);
 }
 
+TEST(ChromeTrace, EmptyEventListIsValidJson) {
+  // Regression: with no recorded events the array must not end in a
+  // dangling comma after the thread-name metadata records.
+  Tracer tr(cfg_with(16));
+  std::ostringstream os;
+  write_chrome_trace(os, tr);
+  std::string s = os.str();
+  EXPECT_EQ(s.find(",\n]"), std::string::npos) << s;
+  EXPECT_EQ(s.find(",]"), std::string::npos) << s;
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
+}
+
 TEST(TraceSummary, RollsUpPerCategoryAndName) {
   Tracer tr(cfg_with(16));
   tr.span(TraceCategory::Fetch, "f", 0, 1000);

@@ -186,7 +186,12 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       o.trace_categories = v;
     } else if (a == "--trace-cap") {
       if (!(v = need_value(i))) return std::nullopt;
-      o.trace_cap = std::stoull(v);
+      try {
+        o.trace_cap = std::stoull(v);
+      } catch (const std::exception&) {
+        std::cerr << "bad --trace-cap: " << v << "\n";
+        return std::nullopt;
+      }
     } else {
       std::cerr << "unknown option: " << a << " (try --help)\n";
       return std::nullopt;
