@@ -9,6 +9,7 @@
 #include "bench_common.h"
 #include "core/metrics.h"
 #include "core/report.h"
+#include "sweep_runner.h"
 
 int main() {
   using namespace uvmsim;
@@ -16,18 +17,42 @@ int main() {
 
   const std::uint64_t target = static_cast<std::uint64_t>(
       0.5 * static_cast<double>(gpu_bytes()));
+  const std::vector<std::string> workloads = {"regular", "sgemm"};
+  const std::vector<std::uint32_t> thresholds = {1, 10, 26, 51, 76, 100};
 
-  for (const std::string wl : {"regular", "sgemm"}) {
-    auto base = make_workload(wl, target);
-    ExplicitResult ex = ExplicitTransfer::run(base_config(), *base);
+  // One flat sweep over the whole (workload x threshold) grid plus the two
+  // explicit-transfer baselines; all points are independent simulations.
+  SweepRunner runner;
+  std::vector<ExplicitResult> explicits = runner.sweep(
+      workloads, [target](const std::string& wl) {
+        auto base = make_workload(wl, target);
+        return ExplicitTransfer::run(base_config(), *base);
+      });
+
+  struct Point {
+    std::string wl;
+    std::uint32_t th;
+  };
+  std::vector<Point> points;
+  for (const std::string& wl : workloads) {
+    for (std::uint32_t th : thresholds) points.push_back({wl, th});
+  }
+  auto results = runner.sweep(points, [target](const Point& p) {
+    SimConfig cfg = base_config();
+    cfg.driver.prefetch_threshold = p.th;
+    return run_workload(cfg, p.wl, target);
+  });
+
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const std::string& wl = workloads[w];
+    const ExplicitResult& ex = explicits[w];
 
     Table t({"threshold_pct", "kernel_time", "faults", "prefetched",
              "vs_explicit"});
     SimDuration t1 = 0, t51 = 0;
-    for (std::uint32_t th : {1u, 10u, 26u, 51u, 76u, 100u}) {
-      SimConfig cfg = base_config();
-      cfg.driver.prefetch_threshold = th;
-      RunResult r = run_workload(cfg, wl, target);
+    for (std::size_t k = 0; k < thresholds.size(); ++k) {
+      const std::uint32_t th = thresholds[k];
+      const RunResult& r = results[w * thresholds.size() + k];
       if (th == 1) t1 = r.total_kernel_time();
       if (th == 51) t51 = r.total_kernel_time();
       t.add_row({fmt(std::uint64_t{th}),

@@ -19,6 +19,7 @@
 #include "bench_common.h"
 #include "core/metrics.h"
 #include "core/report.h"
+#include "sweep_runner.h"
 
 int main(int argc, char** argv) {
   using namespace uvmsim;
@@ -39,42 +40,58 @@ int main(int argc, char** argv) {
 
   std::vector<double> ratios = fast_mode() ? std::vector<double>{2.0}
                                            : std::vector<double>{1.5, 2.0};
+  struct Point {
+    double ratio;
+    std::string wl;
+    bool prefetch;
+  };
+  std::vector<Point> points;
   for (double ratio : ratios) {
-    auto target = static_cast<std::uint64_t>(
-        ratio * static_cast<double>(cfg.gpu_memory()));
     for (const std::string wl : {"regular", "random"}) {
       for (bool prefetch : {true, false}) {
-        SimConfig c = cfg;
-        c.driver.prefetch_enabled = prefetch;
-        RunResult r = run_workload(c, wl, target);
-        double amp = static_cast<double>(r.bytes_h2d) /
-                     static_cast<double>(r.total_bytes);
-        if (ratio == ratios.back()) {
-          if (wl == "regular" && prefetch) {
-            time_regular_pf = r.total_kernel_time();
-            amp_regular = amp;
-          }
-          if (wl == "regular" && !prefetch) {
-            evict_regular = r.counters.evictions;
-          }
-          if (wl == "random" && prefetch) {
-            time_random_pf = r.total_kernel_time();
-            amp_random = amp;
-          }
-          if (wl == "random" && !prefetch) {
-            evict_random_nopf = r.counters.evictions;
-          }
-        }
-        t.add_row(
-            {fmt(100.0 * ratio, 3) + "%", wl, prefetch ? "on" : "off",
-             format_duration(r.total_kernel_time()),
-             format_duration(r.profiler.total(CostCategory::ServiceMap) +
-                             r.profiler.total(CostCategory::ServiceMigrate)),
-             format_duration(r.profiler.total(CostCategory::Eviction)),
-             fmt(r.counters.faults_fetched), fmt(r.counters.evictions),
-             fmt(amp, 3)});
+        points.push_back({ratio, wl, prefetch});
       }
     }
+  }
+
+  SweepRunner runner;
+  auto results = runner.sweep(points, [&cfg](const Point& p) {
+    SimConfig c = cfg;
+    c.driver.prefetch_enabled = p.prefetch;
+    auto target = static_cast<std::uint64_t>(
+        p.ratio * static_cast<double>(cfg.gpu_memory()));
+    return run_workload(c, p.wl, target);
+  });
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    const RunResult& r = results[i];
+    double amp = static_cast<double>(r.bytes_h2d) /
+                 static_cast<double>(r.total_bytes);
+    if (p.ratio == ratios.back()) {
+      if (p.wl == "regular" && p.prefetch) {
+        time_regular_pf = r.total_kernel_time();
+        amp_regular = amp;
+      }
+      if (p.wl == "regular" && !p.prefetch) {
+        evict_regular = r.counters.evictions;
+      }
+      if (p.wl == "random" && p.prefetch) {
+        time_random_pf = r.total_kernel_time();
+        amp_random = amp;
+      }
+      if (p.wl == "random" && !p.prefetch) {
+        evict_random_nopf = r.counters.evictions;
+      }
+    }
+    t.add_row(
+        {fmt(100.0 * p.ratio, 3) + "%", p.wl, p.prefetch ? "on" : "off",
+         format_duration(r.total_kernel_time()),
+         format_duration(r.profiler.total(CostCategory::ServiceMap) +
+                         r.profiler.total(CostCategory::ServiceMigrate)),
+         format_duration(r.profiler.total(CostCategory::Eviction)),
+         fmt(r.counters.faults_fetched), fmt(r.counters.evictions),
+         fmt(amp, 3)});
   }
   t.print("Fig. 9 — oversubscribed breakdown, regular vs random");
 

@@ -11,6 +11,7 @@
 #include "bench_common.h"
 #include "core/metrics.h"
 #include "core/report.h"
+#include "sweep_runner.h"
 
 int main() {
   using namespace uvmsim;
@@ -26,13 +27,16 @@ int main() {
   std::vector<double> rates;
   double rate_under = 0, rate_over_min = 1e30, rate_120 = 0, rate_150 = 0;
 
-  for (double ratio : ratios) {
+  SweepRunner runner;
+  auto results = runner.sweep(ratios, [&cfg](const double& ratio) {
     auto target = static_cast<std::uint64_t>(
         ratio * static_cast<double>(cfg.gpu_memory()));
-    Simulator sim(cfg);
-    auto wl = make_workload("sgemm", target);
-    wl->setup(sim);
-    RunResult r = sim.run();
+    return run_workload(cfg, "sgemm", target);
+  });
+
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    const double ratio = ratios[i];
+    const RunResult& r = results[i];
 
     double rate = r.compute_rate() / 1e9;
     rates.push_back(rate);

@@ -103,6 +103,59 @@ void BM_PageMaskRuns(benchmark::State& state) {
 }
 BENCHMARK(BM_PageMaskRuns)->Arg(8)->Arg(128)->Arg(512);
 
+void BM_PageMaskCountRange(benchmark::State& state) {
+  // Word-level popcount path; the range crosses six word boundaries.
+  Rng rng(19);
+  PageMask m;
+  for (int i = 0; i < 256; ++i) {
+    m.set(static_cast<std::uint32_t>(rng.next_below(kPagesPerBlock)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.count_range(37, 470));
+  }
+}
+BENCHMARK(BM_PageMaskCountRange);
+
+void BM_PageMaskSetRange(benchmark::State& state) {
+  for (auto _ : state) {
+    PageMask m;
+    m.set_range(37, 470);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PageMaskSetRange);
+
+void BM_PageMaskSetBitsIterate(benchmark::State& state) {
+  // The allocation-free iterator that replaced set_indices() in the driver's
+  // per-page loops.
+  Rng rng(23);
+  PageMask m;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    m.set(static_cast<std::uint32_t>(rng.next_below(kPagesPerBlock)));
+  }
+  for (auto _ : state) {
+    std::uint32_t sum = 0;
+    for (std::uint32_t i : m.set_bits()) sum += i;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_PageMaskSetBitsIterate)->Arg(8)->Arg(128)->Arg(512);
+
+void BM_PageMaskForEachRun(benchmark::State& state) {
+  // Single-pass run decomposition without materializing a vector.
+  Rng rng(29);
+  PageMask m;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    m.set(static_cast<std::uint32_t>(rng.next_below(kPagesPerBlock)));
+  }
+  for (auto _ : state) {
+    std::uint64_t bytes = 0;
+    m.for_each_run([&bytes](PageMask::Run r) { bytes += r.count; });
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_PageMaskForEachRun)->Arg(8)->Arg(128)->Arg(512);
+
 void BM_LruTouchEvict(benchmark::State& state) {
   LruEviction lru;
   for (std::uint64_t b = 0; b < 64; ++b) lru.on_slice_allocated({b, 0});
@@ -149,6 +202,7 @@ void BM_EndToEndOversubscribed(benchmark::State& state) {
 BENCHMARK(BM_EndToEndOversubscribed)->Unit(benchmark::kMillisecond);
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
+  std::uint64_t events = 0;
   for (auto _ : state) {
     EventQueue q;
     int sink = 0;
@@ -156,10 +210,55 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
       q.schedule_at(static_cast<SimTime>(i * 7 % 991), [&sink] { ++sink; });
     }
     q.run();
+    events += q.executed_events();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  // Warm queue, fixed population: the slab and heap vector reach capacity
+  // once and every later schedule->fire reuses a slot (zero allocation).
+  EventQueue q;
+  std::uint64_t events = 0;
+  int sink = 0;
+  for (int i = 0; i < 256; ++i) {
+    q.schedule_at(q.now() + 1 + static_cast<SimTime>(i % 13),
+                  [&sink] { ++sink; });
+  }
+  q.run();
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      q.schedule_at(q.now() + 1 + static_cast<SimTime>(i % 13),
+                    [&sink] { ++sink; });
+    }
+    q.run();
+    events += 256;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventQueueSteadyState);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Timer-churn shape: half the scheduled events are cancelled before they
+  // fire (the driver cancels and re-arms batch deadlines constantly).
+  for (auto _ : state) {
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      EventHandle h = q.schedule_at(static_cast<SimTime>(i * 7 % 991),
+                                    [&sink] { ++sink; });
+      if (i % 2 == 0) h.cancel();
+    }
+    q.run();
     benchmark::DoNotOptimize(sink);
   }
 }
-BENCHMARK(BM_EventQueueScheduleRun);
+BENCHMARK(BM_EventQueueCancelHeavy);
 
 }  // namespace
 

@@ -1,0 +1,28 @@
+#include "sweep_runner.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace uvmsim::bench {
+
+std::size_t sweep_threads() {
+  const char* v = std::getenv("UVMSIM_THREADS");
+  if (v == nullptr || *v == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v, &end, 10);
+  if (end == v || *end != '\0') return 1;  // unparseable: stay serial
+  if (n == 0) {
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return static_cast<std::size_t>(n);
+}
+
+SweepRunner::SweepRunner(std::size_t threads)
+    : threads_(threads == 0 ? std::max<std::size_t>(
+                                  1, std::thread::hardware_concurrency())
+                            : threads) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+}  // namespace uvmsim::bench

@@ -1,0 +1,73 @@
+// Wall-clock parallel sweep harness for the reproduction benches.
+//
+// The paper's figures are parameter sweeps (oversubscription ratios x
+// workloads x policies); every sweep point is an independent, strictly
+// single-threaded, deterministic simulation. SweepRunner fans those points
+// across the existing ThreadPool and hands the results back in sweep order,
+// so a bench computes all its RunResults first and prints afterwards —
+// stdout is byte-identical for any thread count.
+//
+// Thread count comes from the UVMSIM_THREADS environment variable. Unset or
+// 1 means today's serial behavior: points run inline on the calling thread,
+// in order, with no pool at all. 0 means hardware concurrency.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "sim/thread_pool.h"
+
+namespace uvmsim::bench {
+
+/// Worker count requested via UVMSIM_THREADS (unset/1 = serial, 0 = one per
+/// hardware thread).
+[[nodiscard]] std::size_t sweep_threads();
+
+class SweepRunner {
+ public:
+  /// A runner with `threads` workers; defaults to sweep_threads().
+  explicit SweepRunner(std::size_t threads = sweep_threads());
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Runs job(i) for i in [0, n) and returns the results indexed by i.
+  /// Serial (threads == 1) executes inline in ascending order; parallel
+  /// execution order is arbitrary but the returned vector is always in
+  /// sweep order. Jobs must not print (collect, then print). The first
+  /// exception thrown by any job propagates.
+  template <typename Job>
+  auto map(std::size_t n, Job&& job)
+      -> std::vector<std::invoke_result_t<Job, std::size_t>> {
+    using R = std::invoke_result_t<Job, std::size_t>;
+    std::vector<R> out;
+    out.reserve(n);
+    if (pool_ == nullptr) {
+      for (std::size_t i = 0; i < n; ++i) out.push_back(job(i));
+      return out;
+    }
+    std::vector<std::future<R>> futs;
+    futs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futs.push_back(pool_->submit([&job, i] { return job(i); }));
+    }
+    for (auto& f : futs) out.push_back(f.get());
+    return out;
+  }
+
+  /// Sweeps `f` over `points`, returning f(point) per point in input order.
+  template <typename Point, typename F>
+  auto sweep(const std::vector<Point>& points, F&& f)
+      -> std::vector<std::invoke_result_t<F, const Point&>> {
+    return map(points.size(),
+               [&points, &f](std::size_t i) { return f(points[i]); });
+  }
+
+ private:
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
+};
+
+}  // namespace uvmsim::bench

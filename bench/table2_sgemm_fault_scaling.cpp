@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "core/metrics.h"
 #include "core/report.h"
+#include "sweep_runner.h"
 #include "workloads/sgemm.h"
 
 int main() {
@@ -30,15 +31,21 @@ int main() {
   std::vector<double> epf;
   bool any_under_eviction = false;
 
-  for (double ratio : ratios) {
+  SweepRunner runner;
+  auto results = runner.sweep(ratios, [&cfg](const double& ratio) {
     auto target = static_cast<std::uint64_t>(
         ratio * static_cast<double>(cfg.gpu_memory()));
-    std::uint64_t n = SgemmWorkload::n_for_bytes(target);
-
     Simulator sim(cfg);
-    SgemmWorkload wl(n);
+    SgemmWorkload wl(SgemmWorkload::n_for_bytes(target));
     wl.setup(sim);
-    RunResult r = sim.run();
+    return sim.run();
+  });
+
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    const RunResult& r = results[i];
+    auto target = static_cast<std::uint64_t>(
+        ratios[i] * static_cast<double>(cfg.gpu_memory()));
+    std::uint64_t n = SgemmWorkload::n_for_bytes(target);
 
     if (r.oversubscription() < 0.99 && r.counters.pages_evicted > 0) {
       any_under_eviction = true;

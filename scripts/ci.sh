@@ -27,6 +27,27 @@ else
 fi
 rm -f "$TRACE_OUT"
 
+echo "== sweep determinism (UVMSIM_THREADS=1 vs 4 stdout must match) =="
+SWEEP_BENCHES=(fig09_oversub_breakdown fig10_sgemm_oversub_rate
+               abl1_threshold_sweep abl2_batch_size table2_sgemm_fault_scaling)
+SWEEP_TMP=$(mktemp -d /tmp/uvmsim-sweep.XXXXXX)
+for b in "${SWEEP_BENCHES[@]}"; do
+  UVMSIM_FAST=1 UVMSIM_THREADS=1 "./build/bench/$b" > "$SWEEP_TMP/$b.t1.txt"
+  UVMSIM_FAST=1 UVMSIM_THREADS=4 "./build/bench/$b" > "$SWEEP_TMP/$b.t4.txt"
+  diff -u "$SWEEP_TMP/$b.t1.txt" "$SWEEP_TMP/$b.t4.txt" > /dev/null \
+    || { echo "sweep determinism FAILED for $b"; exit 1; }
+  echo "$b: byte-identical"
+done
+rm -rf "$SWEEP_TMP"
+
+echo "== perf smoke (fast mode) =="
+UVMSIM_FAST=1 scripts/perf_smoke.sh build
+test -s BENCH_pr3.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool BENCH_pr3.json > /dev/null
+  echo "BENCH_pr3.json parses"
+fi
+
 echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DUVMSIM_SANITIZE=ON
 cmake --build build-asan -j"$JOBS"

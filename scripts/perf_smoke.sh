@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Perf smoke for the PR-3 hot-path work: runs the micro-benchmarks that
+# cover the rewritten EventQueue / PageMask / batch-binning paths plus one
+# converted sweep bench under UVMSIM_THREADS=1 and =4, and writes
+# BENCH_pr3.json at the repo root with wall-clock, events/sec, and
+# before/after speedups against the recorded pre-PR baselines.
+#
+#   scripts/perf_smoke.sh [build-dir]
+#
+# UVMSIM_FAST=1 shrinks benchmark repetitions and the sweep workload so the
+# whole script finishes in well under a minute (the CI mode). Numbers from
+# fast mode are smoke-quality only; run without it for citable medians.
+set -euo pipefail
+
+BUILD=${1:-build}
+cd "$(dirname "$0")/.."
+
+MICRO="$BUILD/bench/micro_driver_ops"
+SWEEP_BENCH="$BUILD/bench/fig09_oversub_breakdown"
+for bin in "$MICRO" "$SWEEP_BENCH"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "perf_smoke: missing $bin (build the project first)" >&2
+    exit 1
+  fi
+done
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "perf_smoke: python3 required to assemble BENCH_pr3.json" >&2
+  exit 1
+fi
+
+FAST=${UVMSIM_FAST:-0}
+if [[ "$FAST" == "1" ]]; then
+  REPS=1
+  MODE=fast
+else
+  REPS=5
+  MODE=full
+fi
+
+TMP=$(mktemp -d /tmp/uvmsim-perf.XXXXXX)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== micro benches (reps=$REPS) =="
+"$MICRO" \
+  --benchmark_filter='BM_EventQueueScheduleRun|BM_EventQueueSteadyState|BM_EventQueueCancelHeavy|BM_BatchPreprocess|BM_PageMaskRuns|BM_PageMaskCountRange|BM_PageMaskSetRange|BM_PageMaskSetBitsIterate|BM_PageMaskForEachRun' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_out="$TMP/micro.json" --benchmark_out_format=json
+
+# Wall-clock the sweep bench at 1 and 4 threads and require byte-identical
+# stdout (the SweepRunner determinism contract).
+wall_run() {  # wall_run <threads> <out-file>; prints elapsed seconds
+  local start end
+  start=$(date +%s%N)
+  UVMSIM_FAST="$FAST" UVMSIM_THREADS="$1" "$SWEEP_BENCH" > "$2"
+  end=$(date +%s%N)
+  echo "$(( (end - start) / 1000000 ))e-3"
+}
+
+echo "== sweep bench wall-clock (fig09, THREADS=1 vs 4) =="
+T1_WALL=$(wall_run 1 "$TMP/sweep_t1.txt")
+T4_WALL=$(wall_run 4 "$TMP/sweep_t4.txt")
+if ! diff -q "$TMP/sweep_t1.txt" "$TMP/sweep_t4.txt" > /dev/null; then
+  echo "perf_smoke: THREADS=4 stdout differs from THREADS=1" >&2
+  exit 1
+fi
+echo "stdout identical across thread counts; t1=${T1_WALL}s t4=${T4_WALL}s"
+
+MODE="$MODE" T1_WALL="$T1_WALL" T4_WALL="$T4_WALL" MICRO_JSON="$TMP/micro.json" \
+python3 - <<'PY'
+import json
+import os
+
+# Pre-PR medians (CPU ns) measured on the reference machine at the PR-3
+# baseline commit, --benchmark_repetitions=5. The "before" side of the
+# before/after comparison; the binary at HEAD provides the "after".
+BASELINE_CPU_NS = {
+    "BM_EventQueueScheduleRun": 128722.0,
+    "BM_BatchPreprocess": 18505.0,
+    "BM_PageMaskRuns/8": 525.0,
+    "BM_PageMaskRuns/128": 634.0,
+    "BM_PageMaskRuns/512": 731.0,
+}
+
+with open(os.environ["MICRO_JSON"]) as f:
+    raw = json.load(f)
+
+# Median across repetitions (single rep in fast mode reports itself).
+by_name = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+        continue
+    name = b.get("run_name", b["name"])
+    by_name.setdefault(name, []).append(b)
+micro = {}
+for name, rows in by_name.items():
+    agg = [r for r in rows if r.get("aggregate_name") == "median"]
+    row = agg[0] if agg else rows[0]
+    entry = {"cpu_ns": row["cpu_time"], "real_ns": row["real_time"]}
+    if "events/s" in row:
+        entry["events_per_sec"] = row["events/s"]
+    base = BASELINE_CPU_NS.get(name)
+    if base is not None:
+        entry["baseline_cpu_ns"] = base
+        entry["speedup_vs_baseline"] = round(base / row["cpu_time"], 3)
+    micro[name] = entry
+
+t1 = float(os.environ["T1_WALL"])
+t4 = float(os.environ["T4_WALL"])
+out = {
+    "schema": "uvmsim-perf-smoke-v1",
+    "pr": 3,
+    "mode": os.environ["MODE"],
+    "host_cpus": os.cpu_count(),
+    "micro": micro,
+    "sweep": {
+        "bench": "fig09_oversub_breakdown",
+        "wall_s_threads1": t1,
+        "wall_s_threads4": t4,
+        "parallel_speedup": round(t1 / t4, 3) if t4 > 0 else None,
+        "stdout_identical": True,
+    },
+}
+with open("BENCH_pr3.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+print("wrote BENCH_pr3.json")
+for name in sorted(micro):
+    e = micro[name]
+    sp = e.get("speedup_vs_baseline")
+    extra = f"  ({sp}x vs pre-PR)" if sp else ""
+    print(f"  {name}: {e['cpu_ns']:.0f} ns{extra}")
+PY
+
+echo "== perf smoke done =="

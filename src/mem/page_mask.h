@@ -1,8 +1,11 @@
 // A 512-bit page mask over one VABlock, with the run/count helpers the
-// service path and prefetcher need. Thin wrapper over std::bitset<512>.
+// service path and prefetcher need. Stored as eight 64-bit words so range
+// counts, range sets, and run decomposition work a word at a time with
+// boundary masks instead of per-bit loops.
 #pragma once
 
-#include <bitset>
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -13,22 +16,33 @@ namespace uvmsim {
 /// One bit per 4 KB page of a VABlock.
 class PageMask {
  public:
-  using Bits = std::bitset<kPagesPerBlock>;
+  static constexpr std::uint32_t kBits = kPagesPerBlock;
+  static constexpr std::uint32_t kWordBits = 64;
+  static constexpr std::uint32_t kWords = kBits / kWordBits;
+  static_assert(kBits % kWordBits == 0, "mask must be whole 64-bit words");
 
   PageMask() = default;
-  explicit PageMask(const Bits& b) : bits_(b) {}
 
-  [[nodiscard]] bool test(std::uint32_t i) const { return bits_.test(i); }
-  void set(std::uint32_t i) { bits_.set(i); }
-  void reset(std::uint32_t i) { bits_.reset(i); }
-  void set_all() { bits_.set(); }
-  void clear() { bits_.reset(); }
+  [[nodiscard]] bool test(std::uint32_t i) const {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+  void set(std::uint32_t i) { words_[i / kWordBits] |= bit(i); }
+  void reset(std::uint32_t i) { words_[i / kWordBits] &= ~bit(i); }
+  void set_all() { words_.fill(~std::uint64_t{0}); }
+  void clear() { words_.fill(0); }
 
   [[nodiscard]] std::uint32_t count() const {
-    return static_cast<std::uint32_t>(bits_.count());
+    std::uint32_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::uint32_t>(std::popcount(w));
+    return n;
   }
-  [[nodiscard]] bool any() const { return bits_.any(); }
-  [[nodiscard]] bool none() const { return bits_.none(); }
+  [[nodiscard]] bool any() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool none() const { return !any(); }
 
   /// Number of set bits within [lo, hi).
   [[nodiscard]] std::uint32_t count_range(std::uint32_t lo, std::uint32_t hi) const;
@@ -36,25 +50,43 @@ class PageMask {
   /// Sets all bits in [lo, hi).
   void set_range(std::uint32_t lo, std::uint32_t hi);
 
+  /// Index of the first set bit >= `from`, or kBits when none remains.
+  [[nodiscard]] std::uint32_t find_next_set(std::uint32_t from) const;
+
+  /// Index of the first clear bit >= `from`, or kBits when none remains.
+  [[nodiscard]] std::uint32_t find_next_clear(std::uint32_t from) const;
+
   PageMask& operator|=(const PageMask& o) {
-    bits_ |= o.bits_;
+    for (std::uint32_t w = 0; w < kWords; ++w) words_[w] |= o.words_[w];
     return *this;
   }
   PageMask& operator&=(const PageMask& o) {
-    bits_ &= o.bits_;
+    for (std::uint32_t w = 0; w < kWords; ++w) words_[w] &= o.words_[w];
     return *this;
   }
   [[nodiscard]] PageMask operator|(const PageMask& o) const {
-    return PageMask{bits_ | o.bits_};
+    PageMask r = *this;
+    r |= o;
+    return r;
   }
   [[nodiscard]] PageMask operator&(const PageMask& o) const {
-    return PageMask{bits_ & o.bits_};
+    PageMask r = *this;
+    r &= o;
+    return r;
   }
-  [[nodiscard]] PageMask operator~() const { return PageMask{~bits_}; }
+  [[nodiscard]] PageMask operator~() const {
+    PageMask r;
+    for (std::uint32_t w = 0; w < kWords; ++w) r.words_[w] = ~words_[w];
+    return r;
+  }
   [[nodiscard]] PageMask and_not(const PageMask& o) const {
-    return PageMask{bits_ & ~o.bits_};
+    PageMask r;
+    for (std::uint32_t w = 0; w < kWords; ++w) {
+      r.words_[w] = words_[w] & ~o.words_[w];
+    }
+    return r;
   }
-  bool operator==(const PageMask& o) const { return bits_ == o.bits_; }
+  bool operator==(const PageMask& o) const { return words_ == o.words_; }
 
   /// A contiguous run of set pages: [first, first+count).
   struct Run {
@@ -67,13 +99,88 @@ class PageMask {
   /// ascending order. The service path coalesces each run into one DMA op.
   [[nodiscard]] std::vector<Run> runs() const;
 
-  /// Indices of all set bits, ascending.
+  /// Indices of all set bits, ascending. Allocates; hot paths should iterate
+  /// set_bits() instead.
   [[nodiscard]] std::vector<std::uint32_t> set_indices() const;
 
-  [[nodiscard]] const Bits& bits() const { return bits_; }
+  /// Forward iteration over set-bit indices in ascending order without
+  /// materialising a vector: `for (std::uint32_t i : mask.set_bits())`.
+  class SetBitIterator {
+   public:
+    using value_type = std::uint32_t;
+    using difference_type = std::int32_t;
+
+    SetBitIterator(const PageMask* m, std::uint32_t i) : mask_(m), i_(i) {}
+    std::uint32_t operator*() const { return i_; }
+    SetBitIterator& operator++() {
+      i_ = mask_->find_next_set(i_ + 1);
+      return *this;
+    }
+    bool operator!=(const SetBitIterator& o) const { return i_ != o.i_; }
+    bool operator==(const SetBitIterator& o) const { return i_ == o.i_; }
+
+   private:
+    const PageMask* mask_;
+    std::uint32_t i_;
+  };
+  struct SetBitRange {
+    const PageMask* mask;
+    [[nodiscard]] SetBitIterator begin() const {
+      return SetBitIterator{mask, mask->find_next_set(0)};
+    }
+    [[nodiscard]] SetBitIterator end() const {
+      return SetBitIterator{mask, kBits};
+    }
+  };
+  [[nodiscard]] SetBitRange set_bits() const { return SetBitRange{this}; }
+
+  /// Calls `f(Run)` for each maximal run of set bits, ascending, in one pass
+  /// over the words (countr_zero/countr_one per transition — no per-bit
+  /// loop, no vector). runs() and the DMA sizing helpers are built on this.
+  template <typename F>
+  void for_each_run(F&& f) const {
+    std::uint32_t run_first = 0;
+    std::uint32_t run_len = 0;  // > 0: an open run crossing a word boundary
+    for (std::uint32_t w = 0; w < kWords; ++w) {
+      std::uint64_t x = words_[w];
+      const std::uint32_t base = w * kWordBits;
+      std::uint32_t consumed = 0;  // bits of this word already scanned
+      if (run_len > 0) {
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(std::countr_one(x));
+        run_len += len;
+        if (len == kWordBits) continue;  // run covers this whole word too
+        f(Run{run_first, run_len});
+        run_len = 0;
+        x >>= len;
+        consumed = len;
+      }
+      while (x != 0) {
+        const std::uint32_t skip =
+            static_cast<std::uint32_t>(std::countr_zero(x));
+        x >>= skip;
+        consumed += skip;
+        const std::uint32_t len =
+            static_cast<std::uint32_t>(std::countr_one(x));
+        if (consumed + len == kWordBits) {  // run touches the word's end:
+          run_first = base + consumed;     // it may continue into the next
+          run_len = len;
+          break;
+        }
+        f(Run{base + consumed, len});
+        x >>= len;
+        consumed += len;
+      }
+    }
+    if (run_len > 0) f(Run{run_first, run_len});
+  }
 
  private:
-  Bits bits_;
+  static constexpr std::uint64_t bit(std::uint32_t i) {
+    return std::uint64_t{1} << (i % kWordBits);
+  }
+
+  std::array<std::uint64_t, kWords> words_{};
 };
 
 }  // namespace uvmsim

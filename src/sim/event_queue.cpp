@@ -1,30 +1,86 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace uvmsim {
+
+void EventQueue::reserve(std::size_t n) {
+  heap_.reserve(n);
+  slab_.reserve(n);
+  free_slots_.reserve(n);
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Record& rec = slab_[slot];
+  ++rec.gen;  // invalidate outstanding handles before the slot is recycled
+  rec.cb = nullptr;
+  free_slots_.push_back(slot);
+}
+
+EventQueue::HeapEntry EventQueue::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  HeapEntry e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
 
 EventHandle EventQueue::schedule_at(SimTime when, Callback cb) {
   if (when < now_) {
     throw std::logic_error("EventQueue: scheduling into the past");
   }
-  auto alive = std::make_shared<bool>(true);
-  heap_.push(Event{when, next_seq_++, std::move(cb), alive});
-  return EventHandle{std::move(alive)};
+  const std::uint32_t slot = acquire_slot();
+  Record& rec = slab_[slot];
+  rec.cb = std::move(cb);
+  rec.live = true;
+  heap_.push_back(HeapEntry{when, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventHandle{this, slot, rec.gen};
+}
+
+void EventQueue::cancel(std::uint32_t slot, std::uint64_t gen) {
+  if (slot >= slab_.size()) return;
+  Record& rec = slab_[slot];
+  if (rec.gen != gen || !rec.live) return;  // stale handle or already fired
+  rec.live = false;
+  rec.cb = nullptr;  // release captured resources now; the heap carcass is
+                     // skipped (and the slot recycled) when it reaches the top
+  --live_;
+}
+
+bool EventQueue::handle_pending(std::uint32_t slot, std::uint64_t gen) const {
+  return slot < slab_.size() && slab_[slot].gen == gen && slab_[slot].live;
 }
 
 bool EventQueue::step() {
   while (!heap_.empty()) {
-    // priority_queue::top() is const; we must copy the callback out before
-    // popping. Callbacks are cheap to move but top() forbids it, so we pop
-    // via const ref + pop, accepting one copy of the std::function.
-    Event ev = heap_.top();
-    heap_.pop();
-    if (!*ev.alive) continue;  // cancelled
-    *ev.alive = false;         // fired: handles stop reporting pending
-    now_ = ev.when;
+    HeapEntry e = pop_top();
+    Record& rec = slab_[e.slot];
+    if (!rec.live) {  // cancelled carcass
+      release_slot(e.slot);
+      continue;
+    }
+    // Move the callback out of the slab and recycle the slot *before*
+    // running it: the callback may schedule new events that reuse the slot.
+    Callback cb = std::move(rec.cb);
+    rec.live = false;
+    --live_;
+    release_slot(e.slot);
+    now_ = e.when;
     ++executed_;
-    ev.cb();
+    cb();
     return true;
   }
   return false;
@@ -39,32 +95,33 @@ SimTime EventQueue::run() {
 SimTime EventQueue::run_until(SimTime deadline) {
   while (!heap_.empty()) {
     // Skim cancelled events without advancing time.
-    if (!*heap_.top().alive) {
-      heap_.pop();
+    if (!slab_[heap_.front().slot].live) {
+      release_slot(pop_top().slot);
       continue;
     }
-    if (heap_.top().when > deadline) break;
+    if (heap_.front().when > deadline) break;
     step();
   }
-  if (now_ < deadline && heap_.empty()) {
-    // Queue drained before the deadline; clock stays at the last event.
-    return now_;
-  }
+  // The clock stays at the last executed event even when the queue drained
+  // before the deadline (see the header contract).
   return now_;
 }
 
 std::size_t EventQueue::pending_events() const {
-  // The heap may hold cancelled carcasses; count only live events. This is
-  // O(n) but used only by tests and end-of-run assertions.
-  std::size_t n = 0;
-  // std::priority_queue hides its container; copy is acceptable at the call
-  // sites (never on the hot path).
-  auto copy = heap_;
-  while (!copy.empty()) {
-    if (*copy.top().alive) ++n;
-    copy.pop();
-  }
-  return n;
+#ifndef NDEBUG
+  assert(live_ == count_live_scan());
+#endif
+  return live_;
 }
+
+#ifndef NDEBUG
+std::size_t EventQueue::count_live_scan() const {
+  // Every live record has exactly one heap entry; carcasses count zero.
+  return static_cast<std::size_t>(
+      std::count_if(heap_.begin(), heap_.end(), [this](const HeapEntry& e) {
+        return slab_[e.slot].live;
+      }));
+}
+#endif
 
 }  // namespace uvmsim

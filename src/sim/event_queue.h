@@ -5,37 +5,49 @@
 // EventQueue::run() executes them in timestamp order, advancing the simulated
 // clock. Events with equal timestamps execute in scheduling (FIFO) order so
 // runs are fully deterministic.
+//
+// Hot-path layout: the queue owns a binary heap of small plain records
+// (timestamp, FIFO sequence, slab slot) ordered with push_heap/pop_heap, and
+// a slab of event records holding the callbacks. Firing an event *moves* the
+// callback out of the slab (no std::function copy), and cancellation is a
+// slab-slot + generation-counter check (no per-event shared_ptr), so the
+// schedule->fire path performs no per-event heap allocation once the slab and
+// heap storage are warm (callbacks small enough for std::function's inline
+// buffer — the simulator's are all one- or two-pointer captures).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace uvmsim {
 
+class EventQueue;
+
 /// Handle used to cancel a scheduled event. Default-constructed handles are
 /// inert. Cancelling an already-fired or already-cancelled event is a no-op.
+/// A handle refers into its queue's slab and must not outlive the queue.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Marks the underlying event dead; it will be skipped when popped.
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
+  void cancel();
 
   /// True if this handle refers to an event that has not yet fired or been
   /// cancelled.
-  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+  [[nodiscard]] bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(EventQueue* q, std::uint32_t slot, std::uint64_t gen)
+      : q_(q), slot_(slot), gen_(gen) {}
+
+  EventQueue* q_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 /// A deterministic single-threaded discrete-event queue.
@@ -65,13 +77,18 @@ class EventQueue {
   SimTime run();
 
   /// Runs events until the queue is empty or `deadline` is reached. Events
-  /// scheduled at exactly `deadline` do run. Returns the final time.
+  /// scheduled at exactly `deadline` do run. The clock never advances past
+  /// the last executed event: if the queue drains (or was empty) before the
+  /// deadline, now() stays at the last event's time rather than jumping to
+  /// `deadline`. Returns now().
   SimTime run_until(SimTime deadline);
 
   /// Executes a single event if one is pending. Returns false if empty.
   bool step();
 
-  /// Number of live (non-cancelled) events still pending. O(n).
+  /// Number of live (non-cancelled) events still pending. O(1): a counter
+  /// maintained on schedule/cancel/fire (debug builds cross-check it against
+  /// a full heap scan).
   [[nodiscard]] std::size_t pending_events() const;
 
   /// True when no live events remain.
@@ -80,24 +97,65 @@ class EventQueue {
   /// Total number of events executed so far (cancelled events excluded).
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Pre-sizes the heap and slab for `n` concurrently pending events so the
+  /// schedule path doesn't reallocate while warming up.
+  void reserve(std::size_t n);
+
  private:
-  struct Event {
+  friend class EventHandle;
+
+  // Heap node: 24 bytes, trivially movable, so push_heap/pop_heap sift
+  // cheaply. The callback lives in the slab, found via `slot`.
+  struct HeapEntry {
     SimTime when = 0;
     std::uint64_t seq = 0;  // FIFO tiebreak for equal timestamps
-    Callback cb;
-    std::shared_ptr<bool> alive;
+    std::uint32_t slot = 0;
   };
+  // "Later-than" comparator: std::push_heap builds a max-heap, so the
+  // earliest (when, seq) ends up at the front.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Slab record. `gen` increments every time the slot is recycled, so stale
+  // EventHandles (and heap carcasses of cancelled events) can be told apart
+  // from the slot's current occupant.
+  struct Record {
+    Callback cb;
+    std::uint64_t gen = 0;
+    bool live = false;
+  };
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  // Pops the heap top and returns it (the slab record is untouched).
+  HeapEntry pop_top();
+
+  void cancel(std::uint32_t slot, std::uint64_t gen);
+  [[nodiscard]] bool handle_pending(std::uint32_t slot,
+                                    std::uint64_t gen) const;
+#ifndef NDEBUG
+  [[nodiscard]] std::size_t count_live_scan() const;
+#endif
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Record> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 };
+
+inline void EventHandle::cancel() {
+  if (q_ != nullptr) q_->cancel(slot_, gen_);
+}
+
+inline bool EventHandle::pending() const {
+  return q_ != nullptr && q_->handle_pending(slot_, gen_);
+}
 
 }  // namespace uvmsim

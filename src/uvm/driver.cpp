@@ -176,7 +176,7 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
   // (fetched == serviced + duplicate + stale) holds at every granularity.
   if (cfg_.base_page_pages > 1 && need.any()) {
     PageMask widened;
-    for (std::uint32_t i : need.set_indices()) {
+    for (std::uint32_t i : need.set_bits()) {
       std::uint32_t lo = i - i % cfg_.base_page_pages;
       std::uint32_t hi =
           std::min(lo + cfg_.base_page_pages, blk.num_pages);
@@ -190,7 +190,7 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
 
   // Fault log: one record per unique fault, in driver processing order.
   if (log_.enabled()) {
-    for (std::uint32_t i : bin.faulted.set_indices()) {
+    for (std::uint32_t i : bin.faulted.set_bits()) {
       log_.record(FaultLogEntry{0, t, FaultLogKind::Fault, blk.first_page + i,
                                 blk.id, blk.range, stale.test(i)});
     }
@@ -282,7 +282,7 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
       trace_span(TraceCategory::Recovery, "recover.degraded_remote", tr, t,
                  blk.id, "pages", degraded.count());
       if (log_.enabled()) {
-        for (std::uint32_t i : degraded.set_indices()) {
+        for (std::uint32_t i : degraded.set_bits()) {
           log_.record(FaultLogEntry{0, t, FaultLogKind::Hazard,
                                     blk.first_page + i, blk.id, blk.range,
                                     false});
@@ -310,7 +310,7 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
   if (migrate.any()) {
     t0 = t;
     SimDuration recovery = 0;
-    auto run_bytes = runs_to_bytes(migrate.runs());
+    auto run_bytes = runs_to_bytes(migrate);
     if (cfg_.pipelined_migrations) {
       // Issue asynchronously: the cursor advances only by the CPU-side
       // submission cost; the copy's completion gates the next replay.
@@ -349,7 +349,7 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
     counters_.pages_prefetched += prefetch.count();
     blk.prefetched_unused |= prefetch;
     if (log_.enabled()) {
-      for (std::uint32_t i : prefetch.set_indices()) {
+      for (std::uint32_t i : prefetch.set_bits()) {
         log_.record(FaultLogEntry{0, t, FaultLogKind::Prefetch,
                                   blk.first_page + i, blk.id, blk.range,
                                   false});
@@ -465,7 +465,7 @@ bool Driver::evict_victim(SimTime& t, VaBlockId faulting_block) {
   counters_.writebacks_avoided += resident.count() - writeback.count();
   if (writeback.any()) {
     CopyOutcome rc = robust_copy(Direction::DeviceToHost, t,
-                                 runs_to_bytes(writeback.runs()));
+                                 runs_to_bytes(writeback));
     t = rc.done;
     recovery = rc.recovery;
   }
@@ -525,7 +525,7 @@ SimTime Driver::service_cpu_access(VirtPage first, std::uint64_t npages,
     if (gpu_only.any()) {
       t += cm_.service_block_overhead;  // CPU fault handling bookkeeping
       CopyOutcome rc = robust_copy(Direction::DeviceToHost, t,
-                                   runs_to_bytes(gpu_only.runs()));
+                                   runs_to_bytes(gpu_only));
       t = rc.done;
       recovery = rc.recovery;
       blk.cpu_resident |= gpu_only;
@@ -585,7 +585,7 @@ SimTime Driver::prefetch_pages(VirtPage first, std::uint64_t npages) {
 
     SimTime t0 = t;
     CopyOutcome rc = robust_copy(Direction::HostToDevice, t,
-                                 runs_to_bytes(to_move.runs()));
+                                 runs_to_bytes(to_move));
     t = rc.done;
     blk.cpu_resident &= ~to_move;
     counters_.pages_migrated_h2d += to_move.count();
@@ -686,7 +686,7 @@ SimTime Driver::promote_hot_region(const AccessCounterNotification& n,
   PageMask migrate = remote & blk.cpu_resident & blk.ever_populated;
   if (migrate.any()) {
     CopyOutcome rc = robust_copy(Direction::HostToDevice, t,
-                                 runs_to_bytes(migrate.runs()));
+                                 runs_to_bytes(migrate));
     t = rc.done;
     recovery = rc.recovery;
     blk.cpu_resident &= ~migrate;

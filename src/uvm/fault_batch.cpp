@@ -1,7 +1,7 @@
 #include "uvm/fault_batch.h"
 
 #include <algorithm>
-#include <map>
+#include <cassert>
 
 #include "sim/trace.h"
 
@@ -62,17 +62,24 @@ FaultBatch Preprocessor::fetch(FaultBuffer& fb, std::uint32_t batch_size,
               return a.page < b.page;
             });
 
-  std::map<VaBlockId, FaultBatch::Bin> bins;
+  // Page-sorted entries are already grouped by ascending VABlock (entries
+  // carry block == block_of_page(page)), so binning is a single grouping
+  // pass appending to the output vector — no per-batch ordered map.
   VirtPage prev_page = ~VirtPage{0};
+  FaultBatch::Bin* bin = nullptr;
   for (const FaultEntry& e : entries) {
-    FaultBatch::Bin& bin = bins[e.block];
-    bin.block = e.block;
-    ++bin.fault_entries;
+    assert(e.block == block_of_page(e.page));
+    if (bin == nullptr || bin->block != e.block) {
+      assert(bin == nullptr || bin->block < e.block);
+      bin = &batch.bins.emplace_back();
+      bin->block = e.block;
+    }
+    ++bin->fault_entries;
     // The access-type upgrade must happen before the dedup skip: a
     // Read-then-Write pair on the same page still makes Write the bin's
     // strongest access.
     if (e.access == FaultAccessType::Write) {
-      bin.strongest_access = FaultAccessType::Write;
+      bin->strongest_access = FaultAccessType::Write;
     }
     if (e.page == prev_page) {
       ++batch.duplicates;
@@ -80,10 +87,8 @@ FaultBatch Preprocessor::fetch(FaultBuffer& fb, std::uint32_t batch_size,
       continue;
     }
     prev_page = e.page;
-    bin.faulted.set(page_in_block(e.page));
+    bin->faulted.set(page_in_block(e.page));
   }
-  batch.bins.reserve(bins.size());
-  for (auto& [id, bin] : bins) batch.bins.push_back(std::move(bin));
   if (tracer != nullptr) {
     tracer->span(TraceCategory::Fetch, "fetch.sort_bin", t_sort0, t, 0,
                  "bins", batch.bins.size(), "dups", batch.duplicates);

@@ -105,7 +105,7 @@ PageMask PrefetchTree::compute(const PageMask& occupied,
                                std::uint32_t threshold_percent) {
   PrefetchTree tree(occupied, valid_pages);
   PageMask out;
-  for (std::uint32_t leaf : faulted.set_indices()) {
+  for (std::uint32_t leaf : faulted.set_bits()) {
     if (leaf >= valid_pages) continue;
     out |= tree.expand(leaf, threshold_percent);
   }

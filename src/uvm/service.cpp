@@ -16,6 +16,14 @@ std::vector<std::uint64_t> runs_to_bytes(
   return out;
 }
 
+std::vector<std::uint64_t> runs_to_bytes(const PageMask& mask) {
+  std::vector<std::uint64_t> out;
+  mask.for_each_run([&out](PageMask::Run r) {
+    out.push_back(static_cast<std::uint64_t>(r.count) * kPageSize);
+  });
+  return out;
+}
+
 PageMask slice_mask(std::uint32_t slice, std::uint32_t pages_per_slice,
                     std::uint32_t num_pages) {
   PageMask m;
@@ -29,7 +37,7 @@ std::vector<std::uint32_t> touched_slices(const PageMask& mask,
                                           std::uint32_t pages_per_slice) {
   std::vector<std::uint32_t> out;
   std::uint32_t prev = ~0u;
-  for (std::uint32_t i : mask.set_indices()) {
+  for (std::uint32_t i : mask.set_bits()) {
     std::uint32_t s = i / pages_per_slice;
     if (s != prev) {
       out.push_back(s);

@@ -12,6 +12,9 @@ namespace uvmsim {
 [[nodiscard]] std::vector<std::uint64_t> runs_to_bytes(
     const std::vector<PageMask::Run>& runs);
 
+/// Same, straight off the mask's run iterator (skips the runs() vector).
+[[nodiscard]] std::vector<std::uint64_t> runs_to_bytes(const PageMask& mask);
+
 /// Mask covering allocation slice `slice` (clamped to `num_pages`).
 [[nodiscard]] PageMask slice_mask(std::uint32_t slice,
                                   std::uint32_t pages_per_slice,

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace uvmsim {
@@ -136,6 +137,133 @@ TEST(EventQueue, ExecutedEventsCounts) {
   for (int i = 0; i < 7; ++i) q.schedule_at(static_cast<SimTime>(i), [] {});
   q.run();
   EXPECT_EQ(q.executed_events(), 7u);
+}
+
+TEST(EventQueue, RunUntilDrainEarlyKeepsClockAtLastEvent) {
+  // Contract: the clock never advances past the last executed event, even
+  // when the queue drains before the deadline.
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  EXPECT_EQ(q.run_until(1000), 10u);
+  EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, RunUntilOnEmptyQueueDoesNotAdvanceClock) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(500), 0u);
+  q.schedule_at(100, [] {});
+  q.run();
+  EXPECT_EQ(q.run_until(900), 100u);
+}
+
+TEST(EventQueue, RunUntilEventExactlyAtDeadlineRunsAndCanChain) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  q.schedule_at(25, [&] {
+    fired.push_back(q.now());
+    // Chained event lands past the deadline: must stay pending.
+    q.schedule_in(1, [&] { fired.push_back(q.now()); });
+  });
+  q.run_until(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{25}));
+  EXPECT_EQ(q.pending_events(), 1u);
+  q.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{25, 26}));
+}
+
+TEST(EventQueue, RunUntilSkimsCancelledHeadWithoutAdvancingClock) {
+  EventQueue q;
+  bool ran = false;
+  auto h1 = q.schedule_at(5, [] {});
+  auto h2 = q.schedule_at(8, [] {});
+  q.schedule_at(50, [&] { ran = true; });
+  h1.cancel();
+  h2.cancel();
+  // Both events before the deadline are cancelled; the survivor is past it.
+  EXPECT_EQ(q.run_until(20), 0u);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.pending_events(), 1u);
+  q.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, PendingCountTracksScheduleCancelFire) {
+  EventQueue q;
+  EXPECT_EQ(q.pending_events(), 0u);
+  auto h1 = q.schedule_at(1, [] {});
+  auto h2 = q.schedule_at(2, [] {});
+  q.schedule_at(3, [] {});
+  EXPECT_EQ(q.pending_events(), 3u);
+  h1.cancel();
+  EXPECT_EQ(q.pending_events(), 2u);
+  h1.cancel();  // double-cancel must not decrement again
+  EXPECT_EQ(q.pending_events(), 2u);
+  q.step();     // fires the event at t=2 (t=1 is a carcass)
+  EXPECT_EQ(q.pending_events(), 1u);
+  h2.cancel();  // already fired: no-op
+  EXPECT_EQ(q.pending_events(), 1u);
+  q.run();
+  EXPECT_EQ(q.pending_events(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsInert) {
+  // A fired event's slab slot is recycled for the next scheduled event; the
+  // old handle's generation no longer matches and must not affect the new
+  // occupant.
+  EventQueue q;
+  EventHandle old = q.schedule_at(1, [] {});
+  q.run();  // fires; slot freed
+  bool ran = false;
+  EventHandle fresh = q.schedule_at(2, [&] { ran = true; });
+  EXPECT_FALSE(old.pending());
+  old.cancel();  // stale: must not cancel the new event
+  EXPECT_TRUE(fresh.pending());
+  q.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelledEventReleasesCallbackResources) {
+  // Cancellation destroys the callback immediately (it may pin large
+  // captures); the heap carcass must still pop cleanly afterwards.
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  EventQueue q;
+  EventHandle h = q.schedule_at(5, [t = std::move(token)] { (void)*t; });
+  EXPECT_FALSE(watch.expired());
+  h.cancel();
+  EXPECT_TRUE(watch.expired());
+  q.schedule_at(9, [] {});
+  q.run();
+  EXPECT_EQ(q.executed_events(), 1u);
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbSemantics) {
+  EventQueue q;
+  q.reserve(64);
+  std::vector<int> order;
+  for (int i = 9; i >= 0; --i) {
+    q.schedule_at(static_cast<SimTime>(i), [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, FifoOrderSurvivesSlotRecycling) {
+  // Interleave firing and re-scheduling at one timestamp so slots recycle
+  // mid-stream; FIFO tie-breaking must still hold.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    for (int i = 0; i < 5; ++i) {
+      q.schedule_at(20, [&order, i] { order.push_back(i); });
+    }
+  });
+  q.run();
+  q.schedule_at(30, [&order] { order.push_back(100); });
+  q.schedule_at(30, [&order] { order.push_back(101); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 100, 101}));
 }
 
 TEST(EventQueue, ClockMonotoneAcrossCallbacks) {

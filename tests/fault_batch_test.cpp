@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/rng.h"
+
 namespace uvmsim {
 namespace {
 
@@ -175,6 +181,118 @@ TEST_F(FaultBatchTest, StopAtNotReadyStillPollsLeadingLaggard) {
                                FetchPolicy::StopAtNotReady);
   EXPECT_EQ(b.fetched, 1u);
   EXPECT_GE(t, 5300u);
+}
+
+// Reference binning: the std::map-based implementation the sort-then-group
+// code replaced. Takes the entries the fetch will consume (FIFO order) and
+// reproduces sort -> map-bin -> upgrade-before-dedup exactly.
+struct RefBatch {
+  std::vector<FaultBatch::Bin> bins;
+  std::uint32_t duplicates = 0;
+};
+
+RefBatch ref_bin(std::vector<FaultEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const FaultEntry& a, const FaultEntry& b) {
+              return a.page < b.page;
+            });
+  RefBatch out;
+  std::map<VaBlockId, FaultBatch::Bin> bins;
+  VirtPage prev_page = ~VirtPage{0};
+  for (const FaultEntry& e : entries) {
+    FaultBatch::Bin& bin = bins[e.block];
+    bin.block = e.block;
+    ++bin.fault_entries;
+    if (e.access == FaultAccessType::Write) {
+      bin.strongest_access = FaultAccessType::Write;
+    }
+    if (e.page == prev_page) {
+      ++out.duplicates;
+      continue;
+    }
+    prev_page = e.page;
+    bin.faulted.set(page_in_block(e.page));
+  }
+  for (auto& [block, bin] : bins) out.bins.push_back(bin);
+  return out;
+}
+
+void expect_bins_equal(const FaultBatch& got, const RefBatch& want) {
+  EXPECT_EQ(got.duplicates, want.duplicates);
+  ASSERT_EQ(got.bins.size(), want.bins.size());
+  for (std::size_t i = 0; i < want.bins.size(); ++i) {
+    const auto& g = got.bins[i];
+    const auto& w = want.bins[i];
+    EXPECT_EQ(g.block, w.block) << "bin " << i;
+    EXPECT_EQ(g.fault_entries, w.fault_entries) << "bin " << i;
+    EXPECT_EQ(g.strongest_access, w.strongest_access) << "bin " << i;
+    EXPECT_EQ(g.faulted, w.faulted) << "bin " << i;
+  }
+}
+
+TEST_F(FaultBatchTest, SortThenGroupMatchesMapReferenceOnRandomStreams) {
+  // Property test for the sort-then-group binning: on arbitrary fault
+  // streams (duplicates, mixed access types, blocks in any order) the bins
+  // must be identical — contents, emission order, and strongest-access — to
+  // the old std::map reference.
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    FaultBuffer fb(buf_cfg());
+    const std::uint32_t n_blocks = 1 + static_cast<std::uint32_t>(
+        rng.next_below(6));
+    const std::uint32_t n_entries = 1 + static_cast<std::uint32_t>(
+        rng.next_below(200));
+    std::vector<FaultEntry> pushed;
+    for (std::uint32_t i = 0; i < n_entries; ++i) {
+      const VirtPage block = rng.next_below(n_blocks);
+      // Small in-block spread makes same-page duplicates common.
+      const VirtPage p = block * kPagesPerBlock + rng.next_below(40);
+      FaultEntry e = entry(p, rng.next_below(4) == 0 ? FaultAccessType::Write
+                                                     : FaultAccessType::Read);
+      ASSERT_TRUE(fb.push(e, 0));
+      pushed.push_back(e);
+    }
+    SimTime t = 100000;
+    auto b = Preprocessor::fetch(fb, 256, cm_, t);
+    ASSERT_EQ(b.fetched, n_entries);
+    expect_bins_equal(b, ref_bin(pushed));
+  }
+}
+
+TEST_F(FaultBatchTest, SortThenGroupMatchesReferenceWithPartialFetch) {
+  // When batch_size < buffer depth, only the first batch_size entries (FIFO
+  // pop order) are binned; the reference must see the same prefix.
+  Rng rng(88);
+  FaultBuffer fb(buf_cfg());
+  std::vector<FaultEntry> pushed;
+  for (std::uint32_t i = 0; i < 150; ++i) {
+    const VirtPage p = rng.next_below(4) * kPagesPerBlock + rng.next_below(64);
+    FaultEntry e = entry(p, rng.next_below(3) == 0 ? FaultAccessType::Write
+                                                   : FaultAccessType::Read);
+    ASSERT_TRUE(fb.push(e, 0));
+    pushed.push_back(e);
+  }
+  SimTime t = 100000;
+  auto b = Preprocessor::fetch(fb, 64, cm_, t);
+  ASSERT_EQ(b.fetched, 64u);
+  pushed.resize(64);
+  expect_bins_equal(b, ref_bin(pushed));
+}
+
+TEST_F(FaultBatchTest, BinsEmittedInAscendingBlockOrder) {
+  // Strongest invariant downstream servicing relies on: bins sorted by block.
+  Rng rng(99);
+  FaultBuffer fb(buf_cfg());
+  for (std::uint32_t i = 0; i < 120; ++i) {
+    const VirtPage p =
+        rng.next_below(10) * kPagesPerBlock + rng.next_below(kPagesPerBlock);
+    ASSERT_TRUE(fb.push(entry(p), 0));
+  }
+  SimTime t = 100000;
+  auto b = Preprocessor::fetch(fb, 256, cm_, t);
+  for (std::size_t i = 1; i < b.bins.size(); ++i) {
+    EXPECT_LT(b.bins[i - 1].block, b.bins[i].block);
+  }
 }
 
 TEST_F(FaultBatchTest, SmallBatchSizeRespected) {

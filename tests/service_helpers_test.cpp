@@ -15,7 +15,8 @@ TEST(ServiceHelpers, RunsToBytes) {
 }
 
 TEST(ServiceHelpers, RunsToBytesEmpty) {
-  EXPECT_TRUE(runs_to_bytes({}).empty());
+  EXPECT_TRUE(runs_to_bytes(std::vector<PageMask::Run>{}).empty());
+  EXPECT_TRUE(runs_to_bytes(PageMask{}).empty());
 }
 
 TEST(ServiceHelpers, SliceMaskFullBlockGranularity) {

@@ -1,0 +1,133 @@
+#include "sweep_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace uvmsim::bench {
+namespace {
+
+// Scoped UVMSIM_THREADS override; sweep_threads() reads the environment on
+// every call, so tests can flip it per case.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("UVMSIM_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv("UVMSIM_THREADS");
+    } else {
+      ::setenv("UVMSIM_THREADS", value, 1);
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      ::setenv("UVMSIM_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("UVMSIM_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(SweepThreads, UnsetMeansSerial) {
+  ScopedThreadsEnv env(nullptr);
+  EXPECT_EQ(sweep_threads(), 1u);
+}
+
+TEST(SweepThreads, ExplicitCountHonored) {
+  ScopedThreadsEnv env("4");
+  EXPECT_EQ(sweep_threads(), 4u);
+}
+
+TEST(SweepThreads, ZeroMeansHardwareConcurrency) {
+  ScopedThreadsEnv env("0");
+  const std::size_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(sweep_threads(), hw == 0 ? 1u : hw);
+}
+
+TEST(SweepThreads, GarbageFallsBackToSerial) {
+  ScopedThreadsEnv env("lots");
+  EXPECT_EQ(sweep_threads(), 1u);
+  ScopedThreadsEnv empty("");
+  EXPECT_EQ(sweep_threads(), 1u);
+}
+
+TEST(SweepRunner, SerialMapRunsInline) {
+  SweepRunner runner(1);
+  EXPECT_EQ(runner.threads(), 1u);
+  const auto main_id = std::this_thread::get_id();
+  auto ids = runner.map(8, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+    return i * i;
+  });
+  ASSERT_EQ(ids.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(ids[i], i * i);
+}
+
+TEST(SweepRunner, ParallelResultsComeBackInSweepOrder) {
+  SweepRunner runner(4);
+  std::vector<int> points(64);
+  std::iota(points.begin(), points.end(), 0);
+  // Uneven per-point work so completion order differs from submit order.
+  auto results = runner.sweep(points, [](const int& p) {
+    std::uint64_t sink = 0;
+    for (int i = 0; i < (p % 7) * 1000; ++i) {
+      sink += static_cast<std::uint64_t>(i);
+    }
+    return p * 3 + static_cast<int>(sink & 0);
+  });
+  ASSERT_EQ(results.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(results[i], points[i] * 3);
+  }
+}
+
+TEST(SweepRunner, ParallelAndSerialAgree) {
+  std::vector<double> points = {0.5, 0.75, 1.0, 1.25, 1.5};
+  auto job = [](const double& p) { return p * p + 1.0; };
+  SweepRunner serial(1);
+  SweepRunner parallel(3);
+  EXPECT_EQ(serial.sweep(points, job), parallel.sweep(points, job));
+}
+
+TEST(SweepRunner, EmptySweepIsEmpty) {
+  SweepRunner runner(2);
+  auto r = runner.sweep(std::vector<int>{}, [](const int& p) { return p; });
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SweepRunner, JobExceptionPropagates) {
+  SweepRunner runner(2);
+  EXPECT_THROW(runner.map(4,
+                          [](std::size_t i) -> int {
+                            if (i == 2) throw std::runtime_error("boom");
+                            return 0;
+                          }),
+               std::runtime_error);
+}
+
+TEST(SweepRunner, AllPointsRunExactlyOnce) {
+  SweepRunner runner(4);
+  std::atomic<int> calls{0};
+  auto r = runner.map(100, [&calls](std::size_t i) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return i;
+  });
+  EXPECT_EQ(calls.load(), 100);
+  ASSERT_EQ(r.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(r[i], i);
+}
+
+}  // namespace
+}  // namespace uvmsim::bench
