@@ -16,6 +16,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "sim/thread_pool.h"

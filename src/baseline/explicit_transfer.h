@@ -9,6 +9,7 @@
 // represent the unreachable no-paging bound the paper plots against.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "core/run_result.h"

@@ -14,6 +14,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace uvmsim {
 

@@ -3,6 +3,7 @@
 namespace uvmsim {
 
 ThreadPool& shared_pool() {
+  // uvmsim-lint: allow(mutable-static, "ThreadPool is internally synchronized and magic-static init is thread-safe")
   static ThreadPool pool;
   return pool;
 }

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <functional>
+#include <future>
+#include <utility>
 #include <vector>
 
 #include "sim/thread_pool.h"

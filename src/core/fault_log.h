@@ -6,6 +6,7 @@
 // events at the time step they were issued.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

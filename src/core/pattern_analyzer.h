@@ -7,6 +7,7 @@
 // (the black lines in Fig. 7) come out as prefix sums of range sizes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -5,6 +5,7 @@
 // "csv," so plotting scripts can grep it out.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <string>

@@ -11,6 +11,8 @@
 // ThreadPool for parameter sweeps.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

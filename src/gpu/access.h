@@ -10,6 +10,7 @@
 // kernels stay cache- and allocation-friendly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>

@@ -11,6 +11,7 @@
 // (non-faulting) accesses — exactly the accesses the fault path cannot see.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>

@@ -9,6 +9,7 @@
 // concurrent kernels share a real SM array.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -8,6 +8,7 @@
 // multiple replays per fault (§III-E).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <optional>

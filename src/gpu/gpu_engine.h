@@ -14,11 +14,14 @@
 // co-scheduled round-robin onto the shared SM array.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "gpu/access.h"

@@ -7,6 +7,7 @@
 // this class only models the hit/miss behaviour on the GPU side.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -7,7 +7,9 @@
 // faults) if its pages were not serviced.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "gpu/access.h"
 #include "sim/time.h"

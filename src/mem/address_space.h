@@ -9,6 +9,7 @@
 // a global page number maps to its block and range with pure arithmetic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

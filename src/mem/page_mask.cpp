@@ -1,5 +1,7 @@
 #include "mem/page_mask.h"
 
+#include "sim/annotations.h"
+
 namespace uvmsim {
 
 namespace {
@@ -11,7 +13,7 @@ constexpr std::uint64_t low_mask(std::uint32_t b) {
 
 }  // namespace
 
-std::uint32_t PageMask::count_range(std::uint32_t lo, std::uint32_t hi) const {
+UVMSIM_HOT std::uint32_t PageMask::count_range(std::uint32_t lo, std::uint32_t hi) const {
   if (lo >= hi) return 0;
   const std::uint32_t wlo = lo / kWordBits;
   const std::uint32_t whi = (hi - 1) / kWordBits;
@@ -31,7 +33,7 @@ std::uint32_t PageMask::count_range(std::uint32_t lo, std::uint32_t hi) const {
   return n;
 }
 
-void PageMask::set_range(std::uint32_t lo, std::uint32_t hi) {
+UVMSIM_HOT void PageMask::set_range(std::uint32_t lo, std::uint32_t hi) {
   if (lo >= hi) return;
   const std::uint32_t wlo = lo / kWordBits;
   const std::uint32_t whi = (hi - 1) / kWordBits;
@@ -44,7 +46,7 @@ void PageMask::set_range(std::uint32_t lo, std::uint32_t hi) {
   words_[whi] |= low_mask(hi - whi * kWordBits);
 }
 
-std::uint32_t PageMask::find_next_set(std::uint32_t from) const {
+UVMSIM_HOT std::uint32_t PageMask::find_next_set(std::uint32_t from) const {
   if (from >= kBits) return kBits;
   std::uint32_t w = from / kWordBits;
   std::uint64_t word = words_[w] & ~low_mask(from % kWordBits);
@@ -55,7 +57,7 @@ std::uint32_t PageMask::find_next_set(std::uint32_t from) const {
   return w * kWordBits + static_cast<std::uint32_t>(std::countr_zero(word));
 }
 
-std::uint32_t PageMask::find_next_clear(std::uint32_t from) const {
+UVMSIM_HOT std::uint32_t PageMask::find_next_clear(std::uint32_t from) const {
   if (from >= kBits) return kBits;
   std::uint32_t w = from / kWordBits;
   std::uint64_t word = ~words_[w] & ~low_mask(from % kWordBits);

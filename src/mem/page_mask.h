@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mem/constants.h"
+#include "sim/annotations.h"
 
 namespace uvmsim {
 
@@ -138,7 +139,7 @@ class PageMask {
   /// over the words (countr_zero/countr_one per transition — no per-bit
   /// loop, no vector). runs() and the DMA sizing helpers are built on this.
   template <typename F>
-  void for_each_run(F&& f) const {
+  UVMSIM_HOT void for_each_run(F&& f) const {
     std::uint32_t run_first = 0;
     std::uint32_t run_len = 0;  // > 0: an open run crossing a word boundary
     for (std::uint32_t w = 0; w < kWords; ++w) {

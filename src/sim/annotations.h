@@ -1,0 +1,14 @@
+// Function annotations shared across the simulator.
+//
+// UVMSIM_HOT marks functions on the per-fault / per-event critical path.
+// Besides the compiler hint, the marker is load-bearing for tooling:
+// uvmsim_lint forbids heap allocation (hot-alloc) and local container
+// construction (hot-local-container) inside UVMSIM_HOT bodies, so the
+// annotation doubles as an enforced "allocation-free" contract.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define UVMSIM_HOT [[gnu::hot]]
+#else
+#define UVMSIM_HOT
+#endif

@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include "sim/annotations.h"
+
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
@@ -12,7 +14,7 @@ void EventQueue::reserve(std::size_t n) {
   free_slots_.reserve(n);
 }
 
-std::uint32_t EventQueue::acquire_slot() {
+UVMSIM_HOT std::uint32_t EventQueue::acquire_slot() {
   if (!free_slots_.empty()) {
     std::uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
@@ -22,21 +24,21 @@ std::uint32_t EventQueue::acquire_slot() {
   return static_cast<std::uint32_t>(slab_.size() - 1);
 }
 
-void EventQueue::release_slot(std::uint32_t slot) {
+UVMSIM_HOT void EventQueue::release_slot(std::uint32_t slot) {
   Record& rec = slab_[slot];
   ++rec.gen;  // invalidate outstanding handles before the slot is recycled
   rec.cb = nullptr;
   free_slots_.push_back(slot);
 }
 
-EventQueue::HeapEntry EventQueue::pop_top() {
+UVMSIM_HOT EventQueue::HeapEntry EventQueue::pop_top() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   HeapEntry e = heap_.back();
   heap_.pop_back();
   return e;
 }
 
-EventHandle EventQueue::schedule_at(SimTime when, Callback cb) {
+UVMSIM_HOT EventHandle EventQueue::schedule_at(SimTime when, Callback cb) {
   if (when < now_) {
     throw std::logic_error("EventQueue: scheduling into the past");
   }
@@ -50,7 +52,7 @@ EventHandle EventQueue::schedule_at(SimTime when, Callback cb) {
   return EventHandle{this, slot, rec.gen};
 }
 
-void EventQueue::cancel(std::uint32_t slot, std::uint64_t gen) {
+UVMSIM_HOT void EventQueue::cancel(std::uint32_t slot, std::uint64_t gen) {
   if (slot >= slab_.size()) return;
   Record& rec = slab_[slot];
   if (rec.gen != gen || !rec.live) return;  // stale handle or already fired
@@ -64,7 +66,7 @@ bool EventQueue::handle_pending(std::uint32_t slot, std::uint64_t gen) const {
   return slot < slab_.size() && slab_[slot].gen == gen && slab_[slot].live;
 }
 
-bool EventQueue::step() {
+UVMSIM_HOT bool EventQueue::step() {
   while (!heap_.empty()) {
     HeapEntry e = pop_top();
     Record& rec = slab_[e.slot];

@@ -16,8 +16,10 @@
 // buffer — the simulator's are all one- or two-pointer captures).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"

@@ -7,7 +7,9 @@
 // without perturbing each other when call orders change.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace uvmsim {

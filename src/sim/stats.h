@@ -1,6 +1,7 @@
 // Lightweight statistics accumulators used by instrumentation and reports.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>

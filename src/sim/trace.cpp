@@ -1,5 +1,7 @@
 #include "sim/trace.h"
 
+#include "sim/annotations.h"
+
 #include <algorithm>
 #include <iomanip>
 #include <map>
@@ -50,7 +52,7 @@ Tracer::Tracer(const TraceConfig& cfg)
   ring_.resize(std::max<std::size_t>(cfg_.capacity, 1));
 }
 
-void Tracer::record(TraceEvent e) {
+UVMSIM_HOT void Tracer::record(TraceEvent e) {
   e.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch_)
@@ -60,7 +62,7 @@ void Tracer::record(TraceEvent e) {
   ++recorded_;
 }
 
-void Tracer::span(TraceCategory c, const char* name, SimTime t0, SimTime t1,
+UVMSIM_HOT void Tracer::span(TraceCategory c, const char* name, SimTime t0, SimTime t1,
                   std::uint64_t id, const char* a1n, std::uint64_t a1,
                   const char* a2n, std::uint64_t a2, const char* a3n,
                   std::uint64_t a3) {
@@ -81,7 +83,7 @@ void Tracer::span(TraceCategory c, const char* name, SimTime t0, SimTime t1,
   record(e);
 }
 
-void Tracer::instant(TraceCategory c, const char* name, SimTime t,
+UVMSIM_HOT void Tracer::instant(TraceCategory c, const char* name, SimTime t,
                      std::uint64_t id, const char* a1n, std::uint64_t a1,
                      const char* a2n, std::uint64_t a2) {
   if (!accepts(c)) return;

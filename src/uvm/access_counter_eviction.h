@@ -8,6 +8,8 @@
 // driver does not implement.
 #pragma once
 
+#include <cstdint>
+
 #include "uvm/eviction_lru.h"
 
 namespace uvmsim {

@@ -17,6 +17,7 @@
 // flushes, pass continuation) on the event queue.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <unordered_map>

@@ -15,7 +15,11 @@
 // eviction order is unchanged no matter when the round ends.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <list>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 

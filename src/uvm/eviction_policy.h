@@ -6,6 +6,7 @@
 // stock configuration, smaller with the flexible-granularity extension.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>

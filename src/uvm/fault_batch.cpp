@@ -3,15 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/annotations.h"
 #include "sim/trace.h"
 
 namespace uvmsim {
 
-FaultBatch Preprocessor::fetch(FaultBuffer& fb, std::uint32_t batch_size,
-                               const CostModel& cm, SimTime& t,
-                               FetchPolicy policy,
-                               LogHistogram* queue_latency, Tracer* tracer) {
+UVMSIM_HOT FaultBatch Preprocessor::fetch(
+    FaultBuffer& fb, std::uint32_t batch_size, const CostModel& cm, SimTime& t,
+    FetchPolicy policy, LogHistogram* queue_latency, Tracer* tracer) {
   FaultBatch batch;
+  // uvmsim-lint: allow(hot-local-container, "per-batch staging vector, reserved upfront; amortized across the whole batch")
   std::vector<FaultEntry> entries;
   entries.reserve(std::min<std::size_t>(batch_size, fb.size()));
 

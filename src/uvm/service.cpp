@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mem/constants.h"
+#include "sim/annotations.h"
 
 namespace uvmsim {
 
@@ -24,8 +25,9 @@ std::vector<std::uint64_t> runs_to_bytes(const PageMask& mask) {
   return out;
 }
 
-PageMask slice_mask(std::uint32_t slice, std::uint32_t pages_per_slice,
-                    std::uint32_t num_pages) {
+UVMSIM_HOT PageMask slice_mask(std::uint32_t slice,
+                               std::uint32_t pages_per_slice,
+                               std::uint32_t num_pages) {
   PageMask m;
   std::uint32_t lo = slice * pages_per_slice;
   std::uint32_t hi = std::min(lo + pages_per_slice, num_pages);
@@ -33,8 +35,9 @@ PageMask slice_mask(std::uint32_t slice, std::uint32_t pages_per_slice,
   return m;
 }
 
-std::vector<std::uint32_t> touched_slices(const PageMask& mask,
-                                          std::uint32_t pages_per_slice) {
+UVMSIM_HOT std::vector<std::uint32_t> touched_slices(
+    const PageMask& mask, std::uint32_t pages_per_slice) {
+  // uvmsim-lint: allow(hot-local-container, "slice list is tiny (<= slices/block) and callers cache it per service pass")
   std::vector<std::uint32_t> out;
   std::uint32_t prev = ~0u;
   for (std::uint32_t i : mask.set_bits()) {

@@ -5,6 +5,10 @@
 // regular/random pattern the paper shows for cusparse in Fig. 7.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
 #include "workloads/workload.h"
 
 namespace uvmsim {

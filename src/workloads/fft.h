@@ -5,6 +5,9 @@
 // banded stride structure visible in Fig. 7.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "workloads/workload.h"
 
 namespace uvmsim {

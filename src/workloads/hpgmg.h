@@ -6,6 +6,9 @@
 // Table I (64 %).
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "workloads/workload.h"
 
 namespace uvmsim {

@@ -5,6 +5,9 @@
 // oversubscription) allocation-granularity thrash.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "workloads/workload.h"
 
 namespace uvmsim {

@@ -3,6 +3,7 @@
 // its own natural parameters.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>

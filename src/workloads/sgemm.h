@@ -6,6 +6,9 @@
 // paper points out for sgemm in §IV-B.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "workloads/workload.h"
 
 namespace uvmsim {

@@ -5,6 +5,9 @@
 // pattern (§IV-B).
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "workloads/workload.h"
 
 namespace uvmsim {

@@ -5,6 +5,9 @@
 // paper reports in Table I (67 %).
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "workloads/workload.h"
 
 namespace uvmsim {

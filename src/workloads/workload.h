@@ -4,6 +4,7 @@
 // access pattern — the only thing the UVM driver ever observes (§IV-B).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -1,0 +1,7 @@
+// Fixture: the assert advances the cursor; NDEBUG builds skip it.
+#include <cassert>
+
+unsigned drain(unsigned* cursor, unsigned limit) {
+  assert(++*cursor <= limit);
+  return *cursor;
+}

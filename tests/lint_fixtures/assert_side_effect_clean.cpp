@@ -1,0 +1,8 @@
+// Fixture: the side effect happens outside the assert.
+#include <cassert>
+
+unsigned drain(unsigned* cursor, unsigned limit) {
+  ++*cursor;
+  assert(*cursor <= limit);
+  return *cursor;
+}

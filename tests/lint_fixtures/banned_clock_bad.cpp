@@ -1,0 +1,6 @@
+// Fixture: stamps results with the wall clock.
+#include <ctime>
+
+long stamp() {
+  return static_cast<long>(time(nullptr));
+}

@@ -1,0 +1,6 @@
+// Fixture: timestamps come from the simulated clock.
+using SimTime = unsigned long long;
+
+SimTime stamp(SimTime now) {
+  return now;
+}

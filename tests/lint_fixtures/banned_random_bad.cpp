@@ -1,0 +1,6 @@
+// Fixture: seeds simulation state from the process-wide PRNG.
+#include <cstdlib>
+
+int roll_latency() {
+  return std::rand() % 100;
+}

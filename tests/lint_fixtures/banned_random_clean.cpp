@@ -1,0 +1,8 @@
+// Fixture: randomness flows through an injected generator object.
+struct Rng {
+  unsigned next();
+};
+
+int roll_latency(Rng& rng) {
+  return static_cast<int>(rng.next() % 100);
+}

@@ -1,0 +1,8 @@
+// Fixture: half of a two-header include cycle.
+#pragma once
+
+#include "cycle_b.h"
+
+struct CycleA {
+  int value;
+};

@@ -1,0 +1,8 @@
+// Fixture: the other half of the include cycle.
+#pragma once
+
+#include "cycle_a.h"
+
+struct CycleB {
+  int value;
+};

@@ -1,0 +1,12 @@
+// Fixture: heap allocation on the annotated critical path.
+#define UVMSIM_HOT
+
+struct Node {
+  Node* next = nullptr;
+};
+
+UVMSIM_HOT Node* push(Node* head) {
+  Node* n = new Node;
+  n->next = head;
+  return n;
+}

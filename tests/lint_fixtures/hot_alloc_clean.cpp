@@ -1,0 +1,12 @@
+// Fixture: the hot path only touches preallocated storage.
+#define UVMSIM_HOT
+
+struct Node {
+  Node* next = nullptr;
+};
+
+UVMSIM_HOT Node* push(Node* slab, unsigned slot, Node* head) {
+  Node* n = &slab[slot];
+  n->next = head;
+  return n;
+}

@@ -1,0 +1,11 @@
+// Fixture: constructs an allocating container per call on the hot path.
+#define UVMSIM_HOT
+#include <vector>
+
+UVMSIM_HOT unsigned count_set(const unsigned long long* words, unsigned n) {
+  std::vector<unsigned> set_bits;
+  for (unsigned i = 0; i < n; ++i) {
+    if (words[i] != 0) set_bits.push_back(i);
+  }
+  return static_cast<unsigned>(set_bits.size());
+}

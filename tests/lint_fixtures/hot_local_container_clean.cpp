@@ -1,0 +1,10 @@
+// Fixture: the hot path counts in place; no per-call container.
+#define UVMSIM_HOT
+
+UVMSIM_HOT unsigned count_set(const unsigned long long* words, unsigned n) {
+  unsigned count = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    if (words[i] != 0) ++count;
+  }
+  return count;
+}

@@ -1,0 +1,4 @@
+// Fixture: uses std::vector but never includes <vector> itself.
+#pragma once
+
+std::vector<int> collect_pages();

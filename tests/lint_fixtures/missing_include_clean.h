@@ -1,0 +1,6 @@
+// Fixture: every std:: name is backed by a direct include.
+#pragma once
+
+#include <vector>
+
+std::vector<int> collect_pages();

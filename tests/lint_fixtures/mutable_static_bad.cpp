@@ -1,0 +1,6 @@
+// Fixture: file-scope mutable counter shared by every pool task.
+static unsigned long long faults_serviced = 0;
+
+void note_fault() {
+  ++faults_serviced;
+}

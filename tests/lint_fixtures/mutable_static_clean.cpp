@@ -1,0 +1,6 @@
+// Fixture: shared statics are immutable; mutable state lives per task.
+static constexpr unsigned kMaxBatch = 256;
+
+unsigned clamp_batch(unsigned n) {
+  return n < kMaxBatch ? n : kMaxBatch;
+}

@@ -1,0 +1,8 @@
+// Fixture: a one-way include chain; no cycle.
+#pragma once
+
+#include "nocycle_b.h"
+
+struct NoCycleA {
+  NoCycleB inner;
+};

@@ -1,0 +1,6 @@
+// Fixture: leaf header of the chain.
+#pragma once
+
+struct NoCycleB {
+  int value;
+};

@@ -1,0 +1,6 @@
+// Fixture: ordered container keyed by raw pointer; order tracks the heap.
+#include <map>
+
+struct Block {};
+
+std::map<Block*, int> refcounts;

@@ -1,0 +1,4 @@
+// Fixture: ordered container keyed by a stable integer id.
+#include <map>
+
+std::map<unsigned, int> refcounts;

@@ -1,0 +1,2 @@
+// Fixture: no #pragma once and no include guard.
+int pages_per_block();

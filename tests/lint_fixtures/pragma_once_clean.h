@@ -1,0 +1,7 @@
+// Fixture: a classic include guard is accepted as well as #pragma once.
+#ifndef UVMSIM_TESTS_LINT_FIXTURES_PRAGMA_ONCE_CLEAN_H_
+#define UVMSIM_TESTS_LINT_FIXTURES_PRAGMA_ONCE_CLEAN_H_
+
+int pages_per_block();
+
+#endif  // UVMSIM_TESTS_LINT_FIXTURES_PRAGMA_ONCE_CLEAN_H_

@@ -1,0 +1,7 @@
+// Fixture: the suppression omits the mandatory justification string.
+#include <cstdlib>
+
+int jitter() {
+  // uvmsim-lint: allow(banned-random)
+  return std::rand() % 7;
+}

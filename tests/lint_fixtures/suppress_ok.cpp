@@ -1,0 +1,7 @@
+// Fixture: a real violation silenced by a well-formed, justified suppression.
+#include <cstdlib>
+
+int jitter() {
+  // uvmsim-lint: allow(banned-random, "fixture exercising the suppression path")
+  return std::rand() % 7;
+}

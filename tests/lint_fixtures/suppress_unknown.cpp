@@ -1,0 +1,5 @@
+// Fixture: the suppression names a rule that does not exist.
+// uvmsim-lint: allow(totally-made-up-rule, "this should be rejected")
+int answer() {
+  return 42;
+}

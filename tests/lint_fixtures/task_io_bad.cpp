@@ -1,0 +1,13 @@
+// Fixture: a pool task writes to stdout; output order depends on scheduling.
+#include <cstdio>
+
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+};
+
+void run(Pool& pool, int run_id) {
+  pool.submit([run_id] {
+    std::printf("run %d done\n", run_id);
+  });
+}

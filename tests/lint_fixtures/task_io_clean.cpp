@@ -1,0 +1,11 @@
+// Fixture: tasks collect results; the caller prints in deterministic order.
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+};
+
+void run(Pool& pool, int* results, int run_id) {
+  pool.submit([results, run_id] {
+    results[run_id] = run_id * 2;
+  });
+}

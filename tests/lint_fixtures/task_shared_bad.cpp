@@ -1,0 +1,15 @@
+// Fixture: a pool task records into the shared tracer without a guard.
+struct Tracer {
+  void instant(const char* name);
+};
+
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+};
+
+void run(Pool& pool, Tracer& tracer) {
+  pool.submit([&tracer] {
+    tracer.instant("task.begin");
+  });
+}

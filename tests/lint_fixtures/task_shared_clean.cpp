@@ -1,0 +1,15 @@
+// Fixture: each task owns its own recorder; the caller merges afterwards.
+struct Recorder {
+  void instant(const char* name);
+};
+
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+};
+
+void run(Pool& pool, Recorder* per_task, int run_id) {
+  pool.submit([rec = &per_task[run_id]] {
+    rec->instant("task.begin");
+  });
+}

@@ -1,0 +1,6 @@
+// Fixture: behavior keyed on which worker thread ran the task.
+#include <thread>
+
+bool on_some_worker() {
+  return std::this_thread::get_id() != std::thread::id{};
+}

@@ -1,0 +1,4 @@
+// Fixture: workers are identified by an explicit, stable index.
+bool on_first_worker(unsigned worker_index) {
+  return worker_index == 0;
+}

@@ -1,0 +1,9 @@
+// Fixture: prints in hash order.
+#include <cstdio>
+#include <unordered_map>
+
+void dump(const std::unordered_map<int, int>& stats) {
+  for (const auto& kv : stats) {
+    std::printf("%d %d\n", kv.first, kv.second);
+  }
+}

@@ -1,0 +1,9 @@
+// Fixture: iterates a sorted container, stable order.
+#include <cstdio>
+#include <map>
+
+void dump(const std::map<int, int>& stats) {
+  for (const auto& kv : stats) {
+    std::printf("%d %d\n", kv.first, kv.second);
+  }
+}

@@ -1,0 +1,8 @@
+// Fixture: header-scope using-directive leaks into every includer.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+string describe(int code);

@@ -1,0 +1,6 @@
+// Fixture: the header qualifies names explicitly.
+#pragma once
+
+#include <string>
+
+std::string describe(int code);
