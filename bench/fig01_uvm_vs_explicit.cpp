@@ -95,5 +95,28 @@ int main() {
                   pf_first_over > pf_last_under);
     }
   }
+
+  // Claim (4): prefetching can aggravate performance after oversubscription.
+  // Deep-oversubscription point (2x, random), on the same capped machine
+  // fig09 uses: the prefetcher's block-granularity population keeps
+  // demanding 2 MB root chunks that evict before use, while pure demand
+  // paging gets cheap 4 KB/64 KB sub-chunk backing under pressure.
+  {
+    SimConfig cfg = base_config();
+    cfg.set_gpu_memory(std::min<std::uint64_t>(gpu_bytes(), 64ull << 20));
+    auto bytes = static_cast<std::uint64_t>(
+        2.0 * static_cast<double>(cfg.gpu_memory()));
+    SimConfig nopf = cfg;
+    nopf.driver.prefetch_enabled = false;
+    SimDuration t_pf = run_workload(cfg, "random", bytes).total_kernel_time();
+    SimDuration t_nopf =
+        run_workload(nopf, "random", bytes).total_kernel_time();
+    std::cout << "claim4: random @200% oversub — uvm_pf "
+              << format_duration(t_pf) << ", uvm_nopf "
+              << format_duration(t_nopf) << "\n";
+    shape_check("(random) prefetching aggravates deep oversubscription "
+                "(disabling it is faster)",
+                t_nopf < t_pf);
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "sweep_runner.h"
 
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <thread>
 
@@ -11,7 +12,11 @@ std::size_t sweep_threads() {
   if (v == nullptr || *v == '\0') return 1;
   char* end = nullptr;
   const unsigned long n = std::strtoul(v, &end, 10);
-  if (end == v || *end != '\0') return 1;  // unparseable: stay serial
+  if (end == v || *end != '\0' || v[0] == '-') {
+    std::cerr << "uvmsim: ignoring invalid UVMSIM_THREADS=\"" << v
+              << "\" (want a non-negative integer); running serial\n";
+    return 1;
+  }
   if (n == 0) {
     return std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }

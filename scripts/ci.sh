@@ -72,12 +72,32 @@ for b in "${SWEEP_BENCHES[@]}"; do
 done
 rm -rf "$SWEEP_TMP"
 
+echo "== paper-shape gate (fig01 claim 4 / fig09 prefetch verdict) =="
+# shape_check prints [SHAPE PASS]/[SHAPE FAIL] without affecting the exit
+# code, so the gate greps stdout. These two assertions are the PR-5 fixes:
+# prefetching must aggravate deep-oversubscribed random performance.
+SHAPE_TMP=$(mktemp -d /tmp/uvmsim-shape.XXXXXX)
+UVMSIM_FAST=1 ./build/bench/fig01_uvm_vs_explicit > "$SHAPE_TMP/fig01.txt"
+UVMSIM_FAST=1 ./build/bench/fig09_oversub_breakdown > "$SHAPE_TMP/fig09.txt"
+grep -q '^\[SHAPE PASS\] (random) prefetching aggravates deep oversubscription' \
+  "$SHAPE_TMP/fig01.txt" \
+  || { echo "shape gate FAILED: fig01 claim 4"; cat "$SHAPE_TMP/fig01.txt"; exit 1; }
+grep -q '^\[SHAPE PASS\] disabling prefetching improves oversubscribed performance' \
+  "$SHAPE_TMP/fig09.txt" \
+  || { echo "shape gate FAILED: fig09 prefetch verdict"; cat "$SHAPE_TMP/fig09.txt"; exit 1; }
+if grep -h '^\[SHAPE FAIL\]' "$SHAPE_TMP"/fig01.txt "$SHAPE_TMP"/fig09.txt; then
+  echo "shape gate FAILED: unexpected [SHAPE FAIL] above"; exit 1
+fi
+echo "shape gate: fig01 + fig09 all green"
+rm -rf "$SHAPE_TMP"
+
 echo "== perf smoke (fast mode) =="
-UVMSIM_FAST=1 scripts/perf_smoke.sh build
-test -s BENCH_pr3.json
+BENCH_OUT=${BENCH_OUT:-BENCH_pr5.json}
+UVMSIM_FAST=1 BENCH_OUT="$BENCH_OUT" scripts/perf_smoke.sh build
+test -s "$BENCH_OUT"
 if command -v python3 >/dev/null 2>&1; then
-  python3 -m json.tool BENCH_pr3.json > /dev/null
-  echo "BENCH_pr3.json parses"
+  python3 -m json.tool "$BENCH_OUT" > /dev/null
+  echo "$BENCH_OUT parses"
 fi
 
 echo "== sanitized build (ASan + UBSan) =="

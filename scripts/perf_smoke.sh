@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Perf smoke for the PR-3 hot-path work: runs the micro-benchmarks that
-# cover the rewritten EventQueue / PageMask / batch-binning paths plus one
-# converted sweep bench under UVMSIM_THREADS=1 and =4, and writes
-# BENCH_pr3.json at the repo root with wall-clock, events/sec, and
-# before/after speedups against the recorded pre-PR baselines.
+# Perf smoke: runs the micro-benchmarks that cover the hot EventQueue /
+# PageMask / batch-binning paths plus one converted sweep bench under
+# UVMSIM_THREADS=1 and =4, and writes a JSON report at the repo root with
+# wall-clock, events/sec, and before/after speedups against the recorded
+# pre-PR-3 baselines.
 #
 #   scripts/perf_smoke.sh [build-dir]
+#
+# BENCH_OUT names the report file (default BENCH_pr5.json); BENCH_PR tags
+# the "pr" field inside it (default 5).
 #
 # UVMSIM_FAST=1 shrinks benchmark repetitions and the sweep workload so the
 # whole script finishes in well under a minute (the CI mode). Numbers from
@@ -13,6 +16,8 @@
 set -euo pipefail
 
 BUILD=${1:-build}
+BENCH_OUT=${BENCH_OUT:-BENCH_pr5.json}
+BENCH_PR=${BENCH_PR:-5}
 cd "$(dirname "$0")/.."
 
 MICRO="$BUILD/bench/micro_driver_ops"
@@ -24,7 +29,7 @@ for bin in "$MICRO" "$SWEEP_BENCH"; do
   fi
 done
 if ! command -v python3 >/dev/null 2>&1; then
-  echo "perf_smoke: python3 required to assemble BENCH_pr3.json" >&2
+  echo "perf_smoke: python3 required to assemble $BENCH_OUT" >&2
   exit 1
 fi
 
@@ -67,6 +72,7 @@ fi
 echo "stdout identical across thread counts; t1=${T1_WALL}s t4=${T4_WALL}s"
 
 MODE="$MODE" T1_WALL="$T1_WALL" T4_WALL="$T4_WALL" MICRO_JSON="$TMP/micro.json" \
+BENCH_OUT="$BENCH_OUT" BENCH_PR="$BENCH_PR" \
 python3 - <<'PY'
 import json
 import os
@@ -109,7 +115,7 @@ t1 = float(os.environ["T1_WALL"])
 t4 = float(os.environ["T4_WALL"])
 out = {
     "schema": "uvmsim-perf-smoke-v1",
-    "pr": 3,
+    "pr": int(os.environ["BENCH_PR"]),
     "mode": os.environ["MODE"],
     "host_cpus": os.cpu_count(),
     "micro": micro,
@@ -121,11 +127,11 @@ out = {
         "stdout_identical": True,
     },
 }
-with open("BENCH_pr3.json", "w") as f:
+with open(os.environ["BENCH_OUT"], "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
 
-print("wrote BENCH_pr3.json")
+print(f"wrote {os.environ['BENCH_OUT']}")
 for name in sorted(micro):
     e = micro[name]
     sp = e.get("speedup_vs_baseline")

@@ -78,7 +78,7 @@ void Simulator::prefill_all_resident() {
     if (!blk.valid()) continue;
     blk.gpu_resident.set_range(0, blk.num_pages);
     blk.cpu_resident.clear();
-    blk.backed_slices.set_range(0, kPagesPerBlock);  // nominal backing
+    blk.backing.set_root();  // nominal backing
   }
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/chunk_tree.h"
 #include "mem/constants.h"
 #include "mem/page_mask.h"
 
@@ -44,10 +45,11 @@ struct VaBlock {
   /// touched by any warp: the "wasted prefetch" measure of §V-A2.
   PageMask prefetched_unused;
 
-  /// GPU physical backing at allocation-slice granularity. With the stock
-  /// 2 MB granularity a block has one slice (bit 0); the flexible-granularity
-  /// extension (§VI-B) uses one bit per slice of alloc_granularity bytes.
-  PageMask backed_slices;
+  /// GPU physical backing shape: one 2 MB root chunk when memory is
+  /// plentiful, or a mix of 64 KB / 4 KB sub-chunks split under memory
+  /// pressure (paper §V-A3 / §VI-B). The PMA owns the byte accounting;
+  /// this tree records which chunks back the block.
+  ChunkTree backing;
   bool service_locked = false;   ///< block lock held by an in-flight service
 
   /// Monotone counter: how many times this block was evicted.

@@ -1,0 +1,39 @@
+#include "mem/chunk_tree.h"
+
+namespace uvmsim {
+
+ChunkTree::TakeResult ChunkTree::take_chunks(std::uint64_t want_bytes,
+                                             PageMask& pages) {
+  TakeResult res;
+  if (root_) {
+    root_ = false;
+    pages.set_all();
+    res.bytes = kVaBlockSize;
+    res.chunks = 1;
+    return res;
+  }
+  // Ascending page order so partial eviction is deterministic and takes the
+  // coldest end of the block first (LRU faults arrive in ascending order
+  // within a bin).
+  for (std::uint32_t g = 0; g < kBigPagesPerBlock && res.bytes < want_bytes;
+       ++g) {
+    if (big_backed(g)) {
+      big_ &= ~(std::uint32_t{1} << g);
+      pages.set_range(g * kPagesPerBigPage, (g + 1) * kPagesPerBigPage);
+      res.bytes += kBigPageSize;
+      ++res.chunks;
+      continue;
+    }
+    const std::uint32_t hi = (g + 1) * kPagesPerBigPage;
+    for (std::uint32_t p = base_.find_next_set(g * kPagesPerBigPage);
+         p < hi && res.bytes < want_bytes; p = base_.find_next_set(p + 1)) {
+      base_.reset(p);
+      pages.set(p);
+      res.bytes += kPageSize;
+      ++res.chunks;
+    }
+  }
+  return res;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,122 @@
+// Per-VABlock chunk tree: the shape of a block's GPU physical backing.
+//
+// The real driver's PMA hands out 2 MB root chunks when memory is plentiful
+// but splits them into 64 KB and 4 KB sub-chunks under pressure (the
+// 4 KB-demand vs 2 MB-allocation asymmetry the paper identifies as the
+// dominant oversubscription cost). This class records which chunks back one
+// VABlock: either a single root chunk covering the whole block, or any mix
+// of 64 KB big-page chunks and 4 KB base-page chunks. The driver allocates
+// and releases the bytes through PhysicalMemoryAllocator; the tree only
+// tracks the shape.
+//
+// Invariants (enforced by construction, checked by chunking_test):
+//  - root implies no sub-chunks (a root chunk covers everything);
+//  - a 4 KB base chunk never lies inside a backed 64 KB big chunk (no
+//    double backing);
+//  - children sum to the parent: 16 base chunks carry exactly the bytes of
+//    one big chunk, 32 big chunks exactly the bytes of the root.
+//
+// Allocation-free: two words of bitmap state, no heap.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "mem/constants.h"
+#include "mem/page_mask.h"
+
+namespace uvmsim {
+
+class ChunkTree {
+ public:
+  /// Bytes freed / chunks removed by take_chunks().
+  struct TakeResult {
+    std::uint64_t bytes = 0;
+    std::uint32_t chunks = 0;
+  };
+
+  /// True when the block is backed by one whole 2 MB root chunk.
+  [[nodiscard]] bool root() const { return root_; }
+  /// True when any chunk (root or sub) backs the block.
+  [[nodiscard]] bool any() const { return root_ || big_ != 0 || base_.any(); }
+  /// True when the block is backed by sub-chunks (split state).
+  [[nodiscard]] bool fragmented() const { return !root_ && (big_ != 0 || base_.any()); }
+
+  /// Backs the whole block with one root chunk (drops any sub-chunks; the
+  /// caller owns the byte accounting for the swap).
+  void set_root() {
+    root_ = true;
+    big_ = 0;
+    base_.clear();
+  }
+  void clear() {
+    root_ = false;
+    big_ = 0;
+    base_.clear();
+  }
+
+  /// Backs big page `g` (pages [16g, 16g+16)) with one 64 KB chunk.
+  /// Precondition: not root, no base chunk inside the group.
+  void set_big(std::uint32_t g) { big_ |= std::uint32_t{1} << g; }
+  /// Backs page `p` with one 4 KB chunk.
+  /// Precondition: not root, page's big group not big-backed.
+  void set_base(std::uint32_t p) { base_.set(p); }
+
+  [[nodiscard]] bool big_backed(std::uint32_t g) const {
+    return (big_ >> g) & 1u;
+  }
+  /// True when any 4 KB base chunk lies inside big page `g`.
+  [[nodiscard]] bool has_base_in(std::uint32_t g) const {
+    return base_.count_range(g * kPagesPerBigPage, (g + 1) * kPagesPerBigPage) >
+           0;
+  }
+  [[nodiscard]] bool covers(std::uint32_t page) const {
+    return root_ || big_backed(big_page_of(page)) || base_.test(page);
+  }
+
+  /// Pages covered by any chunk (a big chunk near the end of a partial
+  /// block may cover page indices past num_pages; callers intersect with
+  /// masks that only carry valid bits).
+  [[nodiscard]] PageMask backed_pages() const {
+    PageMask m = base_;
+    if (root_) {
+      m.set_all();
+      return m;
+    }
+    std::uint32_t bits = big_;
+    while (bits != 0) {
+      const std::uint32_t g =
+          static_cast<std::uint32_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      m.set_range(g * kPagesPerBigPage, (g + 1) * kPagesPerBigPage);
+    }
+    return m;
+  }
+
+  /// PMA bytes the backing occupies (a root chunk is always the full 2 MB,
+  /// even for a partial block).
+  [[nodiscard]] std::uint64_t backed_bytes() const {
+    if (root_) return kVaBlockSize;
+    return static_cast<std::uint64_t>(std::popcount(big_)) * kBigPageSize +
+           static_cast<std::uint64_t>(base_.count()) * kPageSize;
+  }
+
+  /// Number of chunks backing the block (1 for root).
+  [[nodiscard]] std::uint32_t chunk_count() const {
+    if (root_) return 1;
+    return static_cast<std::uint32_t>(std::popcount(big_)) + base_.count();
+  }
+
+  /// Removes whole chunks in ascending page order until at least
+  /// `want_bytes` are freed (or the tree empties), accumulating the covered
+  /// pages into `pages`. A root chunk is always taken whole. Returns the
+  /// bytes and chunk count removed; the caller returns the bytes to the PMA.
+  TakeResult take_chunks(std::uint64_t want_bytes, PageMask& pages);
+
+ private:
+  bool root_ = false;
+  std::uint32_t big_ = 0;  ///< bit g: 64 KB chunk over pages [16g, 16g+16)
+  PageMask base_;          ///< bit p: 4 KB chunk over page p
+};
+
+}  // namespace uvmsim

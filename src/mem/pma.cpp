@@ -1,30 +1,38 @@
 #include "mem/pma.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/errors.h"
 
 namespace uvmsim {
 
 PhysicalMemoryAllocator::PhysicalMemoryAllocator(const Config& cfg) : cfg_(cfg) {
-  if (cfg_.chunk_bytes == 0 || cfg_.capacity_bytes < cfg_.chunk_bytes) {
+  if (cfg_.chunk_bytes == 0 || cfg_.chunk_bytes % kPageSize != 0) {
+    throw ConfigError("PMA.chunk_bytes",
+                      "must be a positive multiple of the 4 KB page size");
+  }
+  if (cfg_.capacity_bytes < kPageSize) {
     throw ConfigError("PMA.capacity_bytes",
-                      "must hold at least one chunk — raise capacity_bytes "
-                      "or shrink chunk_bytes");
+                      "must hold at least one 4 KB page");
   }
   if (cfg_.slab_chunks == 0) {
     throw ConfigError("PMA.slab_chunks", "must be >= 1");
   }
-  total_chunks_ = cfg_.capacity_bytes / cfg_.chunk_bytes;
+  usable_bytes_ = cfg_.capacity_bytes - cfg_.capacity_bytes % kPageSize;
 }
 
-PhysicalMemoryAllocator::AllocResult PhysicalMemoryAllocator::alloc_chunk(
-    SimTime now) {
+PhysicalMemoryAllocator::AllocResult PhysicalMemoryAllocator::alloc_bytes(
+    std::uint64_t bytes, SimTime now) {
+  if (bytes == 0 || bytes % kPageSize != 0) {
+    throw std::logic_error("PMA: allocation must be a positive page multiple");
+  }
   AllocResult res;
-  if (cached_ == 0) {
-    // Cache empty: go to RM for a slab (clamped to remaining capacity).
-    std::uint64_t remaining = total_chunks_ - in_use_;
-    if (remaining == 0) return res;  // exhausted -> eviction required
+  if (bytes > bytes_free()) return res;  // exhausted -> eviction required
+  if (cached_bytes_ < bytes) {
+    // Cache short: go to RM for at least a slab (clamped to unfetched
+    // capacity). The request is always coverable here: bytes <= free ==
+    // cached + unfetched.
     if (hazards_ != nullptr && hazards_->pma_transient_failure(now)) {
       // The round trip happened but produced nothing; the caller should
       // back off and retry rather than evict.
@@ -32,22 +40,27 @@ PhysicalMemoryAllocator::AllocResult PhysicalMemoryAllocator::alloc_chunk(
       res.transient = true;
       return res;
     }
-    std::uint64_t grab = std::min<std::uint64_t>(cfg_.slab_chunks, remaining);
-    cached_ = grab;
+    const std::uint64_t unfetched =
+        usable_bytes_ - in_use_bytes_ - cached_bytes_;
+    const std::uint64_t slab =
+        std::uint64_t{cfg_.slab_chunks} * cfg_.chunk_bytes;
+    cached_bytes_ += std::min(std::max(slab, bytes - cached_bytes_), unfetched);
     ++rm_calls_;
     res.rm_calls = 1;
   }
-  --cached_;
-  ++in_use_;
+  cached_bytes_ -= bytes;
+  in_use_bytes_ += bytes;
   ++allocs_;
   res.ok = true;
   return res;
 }
 
-void PhysicalMemoryAllocator::free_chunk() {
-  if (in_use_ == 0) throw std::logic_error("PMA: free without alloc");
-  --in_use_;
-  ++cached_;
+void PhysicalMemoryAllocator::release_bytes(std::uint64_t bytes) {
+  if (bytes > in_use_bytes_) {
+    throw std::logic_error("PMA: free without alloc");
+  }
+  in_use_bytes_ -= bytes;
+  cached_bytes_ += bytes;
 }
 
 }  // namespace uvmsim

@@ -125,8 +125,49 @@ void write_us(std::ostream& os, std::uint64_t ns) {
      << std::setfill(' ');
 }
 
+/// JSON string escaping for event/track names: quotes, backslashes, and
+/// control characters would otherwise break the trace file (names come from
+/// workload/range labels, which are caller-controlled strings).
+void write_json_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<unsigned>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << static_cast<char>(c);
+        }
+    }
+  }
+}
+
 void write_event_json(std::ostream& os, const TraceEvent& e) {
-  os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << to_string(e.category)
+  os << "{\"name\":\"";
+  write_json_escaped(os, e.name);
+  os << "\",\"cat\":\"" << to_string(e.category)
      << "\",\"ph\":\"" << (e.instant ? "i" : "X") << "\",\"ts\":";
   write_us(os, e.ts);
   if (!e.instant) {
@@ -145,7 +186,9 @@ void write_event_json(std::ostream& os, const TraceEvent& e) {
   for (int i = 0; i < 3; ++i) {
     if (e.arg_names[i] == nullptr) continue;
     if (!first) os << ',';
-    os << '"' << e.arg_names[i] << "\":" << e.args[i];
+    os << '"';
+    write_json_escaped(os, e.arg_names[i]);
+    os << "\":" << e.args[i];
     first = false;
   }
   if (!first) os << ',';

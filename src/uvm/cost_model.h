@@ -52,6 +52,13 @@ struct CostModel {
   SimDuration pma_rm_call_stddev = 6 * kMicrosecond;
   /// Handing out a cached chunk.
   SimDuration pma_cached_alloc = 300;
+  /// PMA tree maintenance for carving one 64 KB / 4 KB sub-chunk out of a
+  /// root chunk (split-under-pressure path; never charged on root-chunk
+  /// allocations, so pressure-free runs are unaffected).
+  SimDuration pma_split = 500;
+  /// Re-merging a fully-backed block's sub-chunks into its root chunk,
+  /// charged per merged chunk.
+  SimDuration pma_coalesce = 200;
   /// One PTE write.
   SimDuration map_per_page = 60;
   /// Membar + TLB invalidate, charged per map operation.
@@ -72,6 +79,12 @@ struct CostModel {
   // --- replay policy ---
   /// Pushing a replay method onto the GPU's management channel.
   SimDuration replay_issue = 4 * kMicrosecond;
+  /// Extra replay work per additional replayed VA-range group beyond the
+  /// first (the driver pays more replay bookkeeping when a batch spans many
+  /// uTLB/VA-block groups, §III-E — the effect behind random workloads'
+  /// higher replay share in Fig. 3). Zero (the default) reproduces the
+  /// historical single flush+replay charge per pass.
+  SimDuration replay_per_group = 0;
   /// Requesting a fault-buffer flush (remote queue management: GET/PUT
   /// pointer round trips over PCIe + waiting for the hardware ack).
   SimDuration flush_base = 20 * kMicrosecond;

@@ -24,7 +24,7 @@ struct DriverCounters {
   std::uint64_t replays_issued = 0;
   std::uint64_t buffer_flushes = 0;
   std::uint64_t flushed_entries = 0;
-  std::uint64_t evictions = 0;          ///< allocation slices evicted
+  std::uint64_t evictions = 0;          ///< eviction operations performed
   std::uint64_t pages_evicted = 0;      ///< pages written back device->host
   std::uint64_t prefetched_evicted_unused = 0;  ///< prefetched, never touched, evicted
   std::uint64_t service_restarts = 0;   ///< fault paths restarted by eviction
@@ -44,6 +44,13 @@ struct DriverCounters {
   /// Remote-mapped pages promoted to local residency by access-counter
   /// notifications (uvm_perf_access_counters-style migration).
   std::uint64_t counter_promoted_pages = 0;
+
+  // --- chunked backing (all zero on the pressure-free root-chunk path) ---
+  std::uint64_t blocks_split = 0;       ///< blocks first backed below root granularity
+  std::uint64_t subchunk_allocs = 0;    ///< 64 KB / 4 KB chunks allocated
+  std::uint64_t partial_evictions = 0;  ///< evictions freeing only part of a block
+  std::uint64_t chunks_evicted = 0;     ///< sub-chunks released by partial evictions
+  std::uint64_t blocks_coalesced = 0;   ///< fragmented blocks re-merged to a root chunk
 
   // --- thrashing mitigation ---
   std::uint64_t thrash_pinned_pages = 0;   ///< faults served by pin/remote map

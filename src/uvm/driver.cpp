@@ -19,12 +19,11 @@ Driver::Driver(const DriverConfig& cfg, const CostModel& cm, const Deps& deps,
                       "must be >= 1 — the driver fetches at least one fault "
                       "per pass");
   }
-  if (cfg_.alloc_granularity_bytes == 0 ||
-      cfg_.alloc_granularity_bytes % kPageSize != 0 ||
-      kVaBlockSize % cfg_.alloc_granularity_bytes != 0) {
-    throw ConfigError("Driver.alloc_granularity_bytes",
-                      "must be a page-aligned divisor of the 2 MB VABlock "
-                      "(e.g. 64 KiB, 256 KiB, 2 MiB)");
+  if (!(cfg_.chunking.fine_watermark >= 0.0) ||
+      !(cfg_.chunking.split_watermark >= cfg_.chunking.fine_watermark)) {
+    throw ConfigError("Driver.chunking",
+                      "watermarks must satisfy 0 <= fine_watermark <= "
+                      "split_watermark");
   }
   if (cfg_.base_page_pages == 0 ||
       kPagesPerBlock % cfg_.base_page_pages != 0) {
@@ -37,8 +36,7 @@ Driver::Driver(const DriverConfig& cfg, const CostModel& cm, const Deps& deps,
       eviction_ = std::make_unique<LruEviction>();
       break;
     case EvictionPolicyKind::AccessCounter:
-      eviction_ =
-          std::make_unique<AccessCounterEviction>(cfg_.pages_per_slice());
+      eviction_ = std::make_unique<AccessCounterEviction>(kPagesPerBlock);
       break;
   }
   if (cfg_.adaptive_prefetch) {
@@ -111,11 +109,11 @@ void Driver::run_pass() {
       case ReplayPolicyKind::Block:
         break;  // replays already issued per block
       case ReplayPolicyKind::Batch:
-        t = issue_replay(t);
+        t = issue_replay(t, batch.bins.size());
         break;
       case ReplayPolicyKind::BatchFlush:
         t = flush_buffer(t);
-        t = issue_replay(t);
+        t = issue_replay(t, batch.bins.size());
         break;
       case ReplayPolicyKind::Once:
         break;  // handled at pass end, below
@@ -196,8 +194,10 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
     }
   }
 
-  // Fault-driven LRU touch (the only residency signal the stock policy has).
-  for (std::uint32_t s : touched_slices(bin.faulted, cfg_.pages_per_slice())) {
+  // Fault-driven LRU touch (the only residency signal the stock policy
+  // has). Backing is chunked but residency tracking stays block-granular,
+  // so the key is always {block, 0}.
+  for (std::uint32_t s : touched_slices(bin.faulted, kPagesPerBlock)) {
     eviction_->on_slice_touched(SliceKey{blk.id, s});
   }
 
@@ -261,7 +261,8 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
   // --- physical backing (may evict, may restart) ---
   bool restarted = false;
   PageMask unbacked;
-  t = ensure_backing(blk, to_populate, t, restarted, unbacked);
+  t = ensure_backing(blk, to_populate, t, restarted, unbacked,
+                     /*speculative=*/prefetch.any());
 
   if (unbacked.any()) {
     // Graceful degradation: some slices could not be backed because no
@@ -357,81 +358,211 @@ SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t) {
     }
   }
   (void)restarted;
+  t = maybe_coalesce(blk, t);
 
   blk.service_locked = false;
   return t;
 }
 
 SimTime Driver::ensure_backing(VaBlock& blk, const PageMask& to_populate,
-                               SimTime t, bool& restarted,
-                               PageMask& unbacked) {
+                               SimTime t, bool& restarted, PageMask& unbacked,
+                               bool speculative) {
   // Victim eligibility is stable for the duration of this call (the
   // faulting block is fixed and no service_locked flag flips), so the
   // eviction policy may cache ineligibility verdicts between victim scans.
   eviction_->begin_victim_round();
-  for (std::uint32_t s : touched_slices(to_populate, cfg_.pages_per_slice())) {
-    if (blk.backed_slices.test(s)) continue;
-    bool backed = true;
-    std::uint32_t transient_failures = 0;
-    for (;;) {
-      auto res = d_.pma->alloc_chunk(t);
-      if (res.ok) {
-        SimDuration cost = cm_.pma_cached_alloc;
-        if (res.rm_calls > 0) {
-          // The RM round trip is latency-bound and variable (§III-D).
-          double jittered = rng_.next_gaussian(
-              static_cast<double>(cm_.pma_rm_call),
-              static_cast<double>(cm_.pma_rm_call_stddev));
-          double floor = static_cast<double>(cm_.pma_rm_call) / 3.0;
-          cost = static_cast<SimDuration>(std::max(jittered, floor));
-        }
-        t += cost;
-        prof_.add(CostCategory::ServicePmaAlloc, cost);
-        break;
-      }
-      if (res.transient) {
-        // Transient RM failure (injected hazard): exponential backoff with
-        // a capped exponent, then retry the call.
-        std::uint32_t shift =
-            std::min(transient_failures, cfg_.recovery.pma_backoff_cap);
-        SimDuration backoff = cfg_.recovery.pma_backoff_base << shift;
-        trace_span(TraceCategory::Recovery, "recover.pma_backoff", t,
-                   t + backoff, blk.id, "attempt", transient_failures + 1);
-        t += backoff;
-        prof_.add(CostCategory::ErrorRecovery, backoff);
-        ++counters_.pma_alloc_retries;
-        ++transient_failures;
-        continue;
-      }
-      // Exhausted: evict and retry. Every eviction drops the faulting
-      // block's lock while the victim is held, restarting this fault path
-      // (§V-A2) — the penalty recurs per eviction.
-      if (!evict_victim(t, blk.id)) {
-        // No eligible victim (every resident slice belongs to the faulting
-        // block or a locked one): leave the slice unbacked and let the
-        // caller degrade its pages to remote mapping.
-        ++counters_.eviction_victim_unavailable;
-        backed = false;
-        break;
-      }
-      restarted = true;
-      t += cm_.service_restart;
-      prof_.add(CostCategory::Eviction, cm_.service_restart);
-      ++counters_.service_restarts;
+  PageMask missing = to_populate.and_not(blk.backing.backed_pages());
+  if (missing.any()) {
+    // Root-chunk path: chunking disabled, memory plentiful, or the demand
+    // covers the whole block anyway — the real driver, too, hands out a
+    // whole root chunk whenever it can. Speculative (prefetch-driven)
+    // demand also backs at root granularity, mirroring the real prefetch
+    // path's block-granularity population: under pressure this keeps
+    // demanding 2 MB that may evict before use, while unprefetched
+    // scattered demand gets cheap sub-chunk backing — the paper's
+    // "disabling prefetching helps when oversubscribed" effect.
+    // Byte-identical to the historical whole-block backing.
+    const bool whole_block_demand = missing.count() == blk.num_pages;
+    if (!blk.backing.fragmented() &&
+        (!cfg_.chunking.enabled || whole_block_demand || speculative ||
+         pressure() == Pressure::None)) {
+      t = back_block_root(blk, to_populate, t, restarted, unbacked);
+    } else {
+      t = back_block_chunks(blk, missing, t, restarted, unbacked);
     }
-    if (!backed) {
-      unbacked |=
-          slice_mask(s, cfg_.pages_per_slice(), blk.num_pages) & to_populate;
-      continue;
-    }
-    blk.backed_slices.set(s);
-    eviction_->on_slice_allocated(SliceKey{blk.id, s});
   }
   eviction_->end_victim_round();
   return t;
 }
 
-bool Driver::evict_victim(SimTime& t, VaBlockId faulting_block) {
+SimTime Driver::back_block_root(VaBlock& blk, const PageMask& to_populate,
+                                SimTime t, bool& restarted,
+                                PageMask& unbacked) {
+  if (!alloc_backing_bytes(blk, kVaBlockSize, kVaBlockSize, t, restarted)) {
+    // No eligible victim (every resident block is the faulting one or a
+    // locked one): leave the block unbacked and let the caller degrade its
+    // pages to remote mapping.
+    unbacked |= to_populate;
+    return t;
+  }
+  blk.backing.set_root();
+  eviction_->on_slice_allocated(SliceKey{blk.id, 0});
+  return t;
+}
+
+SimTime Driver::back_block_chunks(VaBlock& blk, const PageMask& missing,
+                                  SimTime t, bool& restarted,
+                                  PageMask& unbacked) {
+  const bool fine = pressure() == Pressure::Fine;
+  bool first_chunk = !blk.backing.any();
+
+  // Plan the chunk shape first so eviction requests can batch the whole
+  // remainder: one 64 KB chunk per big-page group wholly demanded (or any
+  // demand above the fine watermark) with no existing 4 KB backing there;
+  // 4 KB chunks for partially-wanted groups under fine pressure and for
+  // groups that already fragmented down to base chunks.
+  std::uint32_t plan_big = 0;
+  PageMask plan_base;
+  for (std::uint32_t g : touched_slices(missing, kPagesPerBigPage)) {
+    const std::uint32_t lo = g * kPagesPerBigPage;
+    PageMask group;
+    group.set_range(lo, lo + kPagesPerBigPage);
+    const PageMask want = missing & group;
+    if (!blk.backing.has_base_in(g) &&
+        (!fine || want.count() == kPagesPerBigPage)) {
+      plan_big |= std::uint32_t{1} << g;
+    } else {
+      plan_base |= want;
+    }
+  }
+  std::uint64_t remaining =
+      static_cast<std::uint64_t>(std::popcount(plan_big)) * kBigPageSize +
+      static_cast<std::uint64_t>(plan_base.count()) * kPageSize;
+
+  // Allocate in ascending page order (deterministic trace + eviction order).
+  for (std::uint32_t g = 0; g < kBigPagesPerBlock && remaining > 0; ++g) {
+    const bool big = (plan_big >> g) & 1u;
+    const std::uint32_t lo = g * kPagesPerBigPage;
+    const std::uint32_t hi = lo + kPagesPerBigPage;
+    if (big) {
+      if (!alloc_backing_bytes(blk, kBigPageSize, remaining, t, restarted)) {
+        unbacked |= missing.and_not(blk.backing.backed_pages());
+        return t;
+      }
+      blk.backing.set_big(g);
+      remaining -= kBigPageSize;
+      if (first_chunk) {
+        eviction_->on_slice_allocated(SliceKey{blk.id, 0});
+        ++counters_.blocks_split;
+        first_chunk = false;
+      }
+    } else {
+      for (std::uint32_t p = plan_base.find_next_set(lo); p < hi;
+           p = plan_base.find_next_set(p + 1)) {
+        if (!alloc_backing_bytes(blk, kPageSize, remaining, t, restarted)) {
+          unbacked |= missing.and_not(blk.backing.backed_pages());
+          return t;
+        }
+        blk.backing.set_base(p);
+        remaining -= kPageSize;
+        if (first_chunk) {
+          eviction_->on_slice_allocated(SliceKey{blk.id, 0});
+          ++counters_.blocks_split;
+          first_chunk = false;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+bool Driver::alloc_backing_bytes(VaBlock& blk, std::uint64_t bytes,
+                                 std::uint64_t plan_remaining, SimTime& t,
+                                 bool& restarted) {
+  std::uint32_t transient_failures = 0;
+  for (;;) {
+    auto res = d_.pma->alloc_bytes(bytes, t);
+    if (res.ok) {
+      SimDuration cost = cm_.pma_cached_alloc;
+      if (res.rm_calls > 0) {
+        // The RM round trip is latency-bound and variable (§III-D).
+        double jittered = rng_.next_gaussian(
+            static_cast<double>(cm_.pma_rm_call),
+            static_cast<double>(cm_.pma_rm_call_stddev));
+        double floor = static_cast<double>(cm_.pma_rm_call) / 3.0;
+        cost = static_cast<SimDuration>(std::max(jittered, floor));
+      }
+      if (bytes < kVaBlockSize) {
+        // Carving a sub-chunk splits a root chunk in the PMA tree.
+        cost += cm_.pma_split;
+        ++counters_.subchunk_allocs;
+      }
+      t += cost;
+      prof_.add(CostCategory::ServicePmaAlloc, cost);
+      return true;
+    }
+    if (res.transient) {
+      // Transient RM failure (injected hazard): exponential backoff with
+      // a capped exponent, then retry the call.
+      std::uint32_t shift =
+          std::min(transient_failures, cfg_.recovery.pma_backoff_cap);
+      SimDuration backoff = cfg_.recovery.pma_backoff_base << shift;
+      trace_span(TraceCategory::Recovery, "recover.pma_backoff", t,
+                 t + backoff, blk.id, "attempt", transient_failures + 1);
+      t += backoff;
+      prof_.add(CostCategory::ErrorRecovery, backoff);
+      ++counters_.pma_alloc_retries;
+      ++transient_failures;
+      continue;
+    }
+    // Exhausted: evict and retry. Every eviction drops the faulting
+    // block's lock while the victim is held, restarting this fault path
+    // (§V-A2) — the penalty recurs per eviction.
+    if (!evict_victim(t, blk.id, plan_remaining)) {
+      ++counters_.eviction_victim_unavailable;
+      return false;
+    }
+    restarted = true;
+    t += cm_.service_restart;
+    prof_.add(CostCategory::Eviction, cm_.service_restart);
+    ++counters_.service_restarts;
+  }
+}
+
+SimTime Driver::maybe_coalesce(VaBlock& blk, SimTime t) {
+  if (!cfg_.chunking.enabled || !cfg_.chunking.coalesce) return t;
+  if (!blk.backing.fragmented()) return t;
+  if (blk.num_pages != kPagesPerBlock) return t;  // partial blocks stay split
+  if (blk.backing.backed_bytes() != kVaBlockSize) return t;
+  // Every page is chunk-backed, so the sub-chunks hold exactly one root
+  // chunk's bytes: re-merge them — PMA accounting is unchanged, but the
+  // block becomes a whole-block eviction victim again.
+  const std::uint32_t merged = blk.backing.chunk_count();
+  blk.backing.set_root();
+  const SimDuration cost =
+      static_cast<SimDuration>(merged) * cm_.pma_coalesce;
+  t += cost;
+  prof_.add(CostCategory::ServicePmaAlloc, cost);
+  ++counters_.blocks_coalesced;
+  trace_instant(TraceCategory::Service, "pma.coalesce", t, blk.id, "chunks",
+                merged);
+  return t;
+}
+
+Driver::Pressure Driver::pressure() const {
+  const double frac = d_.pma->free_fraction();
+  if (frac < cfg_.chunking.fine_watermark) return Pressure::Fine;
+  if (frac < cfg_.chunking.split_watermark ||
+      d_.pma->bytes_free() < kVaBlockSize) {
+    // Below the watermark — or the GPU is simply too small to ever carve a
+    // whole root chunk.
+    return Pressure::Split;
+  }
+  return Pressure::None;
+}
+
+bool Driver::evict_victim(SimTime& t, VaBlockId faulting_block,
+                          std::uint64_t want_bytes) {
   // Honor cudaMemAdvise preferred-location hints: evict non-preferred
   // slices first (Preferred victims), fall back to anything eligible. The
   // single classified scan replaces the previous two-pass
@@ -454,8 +585,15 @@ bool Driver::evict_victim(SimTime& t, VaBlockId faulting_block) {
   SimTime t0 = t;
   SimDuration recovery = 0;
   VaBlock& vb = d_.as->block(v->block);
-  PageMask smask = slice_mask(v->slice, cfg_.pages_per_slice(), vb.num_pages);
-  PageMask resident = vb.gpu_resident & smask;
+  const bool whole = vb.backing.root();
+  // Chunk-granularity eviction: a root-backed victim is evicted whole (the
+  // historical behaviour); a fragmented victim frees resident sub-chunks in
+  // ascending page order until the caller's demand is covered, and keeps
+  // its LRU position for the next call if chunks remain.
+  PageMask freed_pages;
+  const ChunkTree::TakeResult taken =
+      vb.backing.take_chunks(want_bytes, freed_pages);
+  PageMask resident = vb.gpu_resident & freed_pages;
 
   t += cm_.evict_overhead;
   // Device-to-host writeback: needed for every resident page whose host
@@ -471,7 +609,7 @@ bool Driver::evict_victim(SimTime& t, VaBlockId faulting_block) {
   }
   counters_.pages_evicted += writeback.count();
   counters_.prefetched_evicted_unused +=
-      (vb.prefetched_unused & smask).count();
+      (vb.prefetched_unused & freed_pages).count();
 
   d_.pt->unmap_pages(vb, resident);
   t += cm_.map_membar +
@@ -479,25 +617,29 @@ bool Driver::evict_victim(SimTime& t, VaBlockId faulting_block) {
   d_.gpu->invalidate_tlbs();
 
   vb.cpu_resident |= resident;
-  vb.read_duplicated &= ~smask;
-  vb.dirty &= ~smask;
+  vb.read_duplicated = vb.read_duplicated.and_not(freed_pages);
+  vb.dirty = vb.dirty.and_not(freed_pages);
   thrashing_.on_eviction(vb.id, t);
-  vb.prefetched_unused &= ~smask;
-  vb.backed_slices.reset(v->slice);
+  vb.prefetched_unused = vb.prefetched_unused.and_not(freed_pages);
   ++vb.eviction_count;
-  d_.pma->free_chunk();
-  eviction_->on_slice_evicted(*v);
+  d_.pma->release_bytes(taken.bytes);
+  if (vb.backing.any()) {
+    ++counters_.partial_evictions;
+  } else {
+    eviction_->on_slice_evicted(*v);
+  }
+  if (!whole) counters_.chunks_evicted += taken.chunks;
   ++counters_.evictions;
 
   if (log_.enabled()) {
     log_.record(FaultLogEntry{
         0, t, FaultLogKind::Eviction,
-        vb.first_page + v->slice * cfg_.pages_per_slice(), vb.id, vb.range,
+        vb.first_page + freed_pages.find_next_set(0), vb.id, vb.range,
         false});
   }
   prof_.add(CostCategory::Eviction, (t - t0) - recovery);
   trace_span(TraceCategory::Eviction, "evict.victim", t0, t, v->block,
-             "slice", v->slice, "writeback_pages", writeback.count(),
+             "chunks", taken.chunks, "writeback_pages", writeback.count(),
              "scanned", eviction_->last_scan_length());
   return true;
 }
@@ -572,7 +714,8 @@ SimTime Driver::prefetch_pages(VirtPage first, std::uint64_t npages) {
     blk.service_locked = true;
     bool restarted = false;
     PageMask unbacked;
-    t = ensure_backing(blk, to_move, t, restarted, unbacked);
+    t = ensure_backing(blk, to_move, t, restarted, unbacked,
+                       /*speculative=*/true);
     if (unbacked.any()) {
       // Bulk prefetch is advisory: pages on slices that cannot be backed
       // (no eligible victim) are simply skipped.
@@ -600,19 +743,27 @@ SimTime Driver::prefetch_pages(VirtPage first, std::uint64_t npages) {
          static_cast<SimDuration>(to_move.count()) * cm_.map_per_page;
     prof_.add(CostCategory::ServiceMap, t - t0);
 
-    for (std::uint32_t s : touched_slices(to_move, cfg_.pages_per_slice())) {
+    for (std::uint32_t s : touched_slices(to_move, kPagesPerBlock)) {
       eviction_->on_slice_touched(SliceKey{blk.id, s});
     }
+    t = maybe_coalesce(blk, t);
     blk.service_locked = false;
   }
   return t;
 }
 
-SimTime Driver::issue_replay(SimTime t) {
-  prof_.add(CostCategory::ReplayPolicy, cm_.replay_issue);
+SimTime Driver::issue_replay(SimTime t, std::uint64_t groups) {
+  SimDuration cost = cm_.replay_issue;
+  if (groups > 1) {
+    // Replaying a batch that spans many VA-block groups costs extra driver
+    // bookkeeping per group (§III-E); zero per-group cost collapses this
+    // to the historical flat charge.
+    cost += static_cast<SimDuration>(groups - 1) * cm_.replay_per_group;
+  }
+  prof_.add(CostCategory::ReplayPolicy, cost);
   ++counters_.replays_issued;
   SimTime t0 = t;
-  t += cm_.replay_issue;
+  t += cost;
   // Pipelined migrations: warps must not resume before their data lands,
   // so the replay notification trails the last outstanding copy. The
   // driver itself keeps working — only the replay waits.
@@ -702,9 +853,10 @@ SimTime Driver::promote_hot_region(const AccessCounterNotification& n,
   prof_.add(CostCategory::ServiceMap, t - t0);
 
   counters_.counter_promoted_pages += remote.count();
-  for (std::uint32_t s : touched_slices(remote, cfg_.pages_per_slice())) {
+  for (std::uint32_t s : touched_slices(remote, kPagesPerBlock)) {
     eviction_->on_slice_touched(SliceKey{blk.id, s});
   }
+  t = maybe_coalesce(blk, t);
   blk.service_locked = false;
   return t;
 }

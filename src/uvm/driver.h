@@ -119,19 +119,55 @@ class Driver {
     SimDuration recovery;
   };
 
+  /// Memory-pressure level at the PMA, from the chunking watermarks.
+  enum class Pressure : std::uint8_t { None, Split, Fine };
+
   void run_pass();
   /// Services one VABlock bin; returns the advanced time cursor.
   SimTime service_bin(const FaultBatch::Bin& bin, SimTime t);
-  /// Guarantees GPU backing for every slice touched by `to_populate`,
-  /// evicting as needed. Sets `restarted` when an eviction forced the fault
-  /// path to restart. Slices that cannot be backed (no eligible eviction
-  /// victim) are skipped and their `to_populate` pages accumulate in
-  /// `unbacked` for the caller to degrade to remote mapping.
+  /// Guarantees GPU backing for every page in `to_populate`, evicting as
+  /// needed. Plentiful memory (or whole-block demand) backs the block with
+  /// one 2 MB root chunk — byte-identical to the historical whole-block
+  /// path; under the watermarks the demand is backed with 64 KB / 4 KB
+  /// sub-chunks instead. `speculative` demand (the prefetcher betting on
+  /// density) also takes the root chunk: the real driver's prefetch path
+  /// populates at block granularity, which is exactly why prefetching can
+  /// aggravate oversubscription. Sets `restarted` when an eviction forced
+  /// the fault path to restart. Pages that cannot be backed (no eligible
+  /// eviction victim) accumulate in `unbacked` for the caller to degrade
+  /// to remote mapping.
   SimTime ensure_backing(VaBlock& blk, const PageMask& to_populate, SimTime t,
-                         bool& restarted, PageMask& unbacked);
-  /// Evicts one LRU-eligible slice, advancing `t`; returns false (leaving
-  /// `t` untouched) when no victim is eligible.
-  bool evict_victim(SimTime& t, VaBlockId faulting_block);
+                         bool& restarted, PageMask& unbacked,
+                         bool speculative = false);
+  /// Root-chunk backing for a block with no prior backing (stock path).
+  SimTime back_block_root(VaBlock& blk, const PageMask& to_populate, SimTime t,
+                          bool& restarted, PageMask& unbacked);
+  /// Sub-chunk backing for `missing` under memory pressure: 64 KB chunks
+  /// for fully-wanted big pages (or all groups above the fine watermark),
+  /// 4 KB chunks for the rest.
+  SimTime back_block_chunks(VaBlock& blk, const PageMask& missing, SimTime t,
+                            bool& restarted, PageMask& unbacked);
+  /// Allocates `bytes` of PMA backing for `blk`, retrying through transient
+  /// RM failures (backoff) and capacity exhaustion (eviction + restart
+  /// penalty). `plan_remaining` is the total still needed by the caller's
+  /// backing plan, so one eviction can free enough for the whole remainder.
+  /// Returns false when no eviction victim was available.
+  bool alloc_backing_bytes(VaBlock& blk, std::uint64_t bytes,
+                           std::uint64_t plan_remaining, SimTime& t,
+                           bool& restarted);
+  /// Re-merges a fully-backed full block's sub-chunks into one root chunk
+  /// (PMA bytes unchanged: 512 backed pages == 2 MB exactly).
+  SimTime maybe_coalesce(VaBlock& blk, SimTime t);
+  /// Current pressure level from the PMA free fraction.
+  [[nodiscard]] Pressure pressure() const;
+  /// Evicts backing from one LRU-eligible victim block, advancing `t`:
+  /// a root-backed victim is evicted whole (the historical behaviour); a
+  /// fragmented victim frees resident sub-chunks in ascending page order
+  /// until `want_bytes` are released (a partial victim stays in LRU and is
+  /// re-picked by the next call). Returns false (leaving `t` untouched)
+  /// when no victim is eligible.
+  bool evict_victim(SimTime& t, VaBlockId faulting_block,
+                    std::uint64_t want_bytes);
   /// copy_runs with bounded retry + exponential backoff on injected DMA
   /// failures; after dma_max_retries failed rounds the copy engine is reset
   /// and the budget renews, so the copy always eventually completes.
@@ -148,8 +184,11 @@ class Driver {
   [[nodiscard]] bool hazards_active() const {
     return d_.hazards != nullptr && d_.hazards->enabled();
   }
-  /// Charges and schedules a replay notification at cursor `t`.
-  SimTime issue_replay(SimTime t);
+  /// Charges and schedules a replay notification at cursor `t`. `groups`
+  /// is the number of replayed VA-block groups the batch spanned; each
+  /// group beyond the first adds cost_model.replay_per_group (zero by
+  /// default, so single-group replays match the historical charge).
+  SimTime issue_replay(SimTime t, std::uint64_t groups = 1);
   /// Charges and schedules a fault-buffer flush at cursor `t`.
   SimTime flush_buffer(SimTime t);
   /// Drains access-counter notifications into the eviction policy (and the

@@ -71,6 +71,27 @@ enum class EvictionPolicyKind : std::uint8_t {
   AccessCounter,  ///< LRU promoted by Volta access counters (paper §VI-B)
 };
 
+/// Chunked PMA backing (paper §V-A3 / §VI-B): when free GPU memory is
+/// plentiful every VABlock is backed by one whole 2 MB root chunk — the
+/// stock path, byte-identical to the historical behaviour. Under a
+/// free-memory watermark, blocks whose demand does not cover the whole
+/// block split to 64 KB big-page chunks; under the fine watermark,
+/// partially-wanted big pages split further to 4 KB base-page chunks.
+/// A block whose pages all become backed re-coalesces into a root chunk.
+struct ChunkedBackingConfig {
+  bool enabled = true;
+  /// free_fraction below which new blocks are backed with 64 KB chunks.
+  /// The default keeps every run with headroom >= 1/16 of GPU memory on
+  /// the root-chunk path.
+  double split_watermark = 1.0 / 16.0;
+  /// free_fraction below which partially-wanted big pages are backed with
+  /// 4 KB chunks. Values > 1 force the level unconditionally (useful for
+  /// ablations); must be <= split_watermark.
+  double fine_watermark = 1.0 / 64.0;
+  /// Re-merge a fully-backed block's sub-chunks into its root chunk.
+  bool coalesce = true;
+};
+
 struct DriverConfig {
   /// Faults fetched per batch (driver default 256, paper §III-A).
   std::uint32_t batch_size = 256;
@@ -123,19 +144,9 @@ struct DriverConfig {
   /// zero-copy data to local. Requires SimConfig::access_counters.enabled.
   bool access_counter_migration = false;
 
-  /// GPU physical allocation granularity (stock: one 2 MB VABlock). The
-  /// flexible-granularity extension (§VI-B) allows 64 KB…2 MB; must divide
-  /// kVaBlockSize and be a multiple of kPageSize.
-  std::uint64_t alloc_granularity_bytes = kVaBlockSize;
-
-  /// Pages per allocation slice (derived).
-  [[nodiscard]] std::uint32_t pages_per_slice() const {
-    return static_cast<std::uint32_t>(alloc_granularity_bytes / kPageSize);
-  }
-  /// Slices per VABlock (derived).
-  [[nodiscard]] std::uint32_t slices_per_block() const {
-    return kPagesPerBlock / pages_per_slice();
-  }
+  /// Chunked PMA backing with split-under-pressure (replaces the former
+  /// run-static alloc_granularity_bytes knob).
+  ChunkedBackingConfig chunking;
 };
 
 }  // namespace uvmsim

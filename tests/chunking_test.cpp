@@ -1,0 +1,278 @@
+// Chunked PMA backing (paper §V-A3, §VI-B): the driver backs VABlocks with
+// one 2 MB root chunk while memory is plentiful and splits to 64 KB / 4 KB
+// sub-chunks only under the free-memory watermarks; eviction frees chunks,
+// not whole blocks; fully-resident split blocks re-coalesce to a root chunk.
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "mem/chunk_tree.h"
+#include "workloads/registry.h"
+
+namespace uvmsim {
+namespace {
+
+// --- ChunkTree unit tests -------------------------------------------------
+
+TEST(ChunkTree, ChildrenSumToParent) {
+  ChunkTree t;
+  t.set_root();
+  EXPECT_EQ(t.backed_bytes(), kVaBlockSize);
+  EXPECT_EQ(t.chunk_count(), 1u);
+
+  // 32 big chunks carry exactly the root's bytes.
+  t.clear();
+  for (std::uint32_t g = 0; g < kBigPagesPerBlock; ++g) t.set_big(g);
+  EXPECT_EQ(t.backed_bytes(), kVaBlockSize);
+  EXPECT_EQ(t.chunk_count(), kBigPagesPerBlock);
+
+  // 16 base chunks carry exactly one big chunk's bytes.
+  t.clear();
+  for (std::uint32_t p = 0; p < kPagesPerBigPage; ++p) t.set_base(p);
+  EXPECT_EQ(t.backed_bytes(), kBigPageSize);
+  EXPECT_EQ(t.chunk_count(), kPagesPerBigPage);
+}
+
+TEST(ChunkTree, CoverageAndQueries) {
+  ChunkTree t;
+  EXPECT_FALSE(t.any());
+  t.set_big(2);    // pages [32, 48)
+  t.set_base(100); // page 100 (big group 6)
+  EXPECT_TRUE(t.fragmented());
+  EXPECT_FALSE(t.root());
+  EXPECT_TRUE(t.covers(32));
+  EXPECT_TRUE(t.covers(47));
+  EXPECT_FALSE(t.covers(48));
+  EXPECT_TRUE(t.covers(100));
+  EXPECT_TRUE(t.has_base_in(6));
+  EXPECT_FALSE(t.has_base_in(2));
+  PageMask m = t.backed_pages();
+  EXPECT_EQ(m.count(), kPagesPerBigPage + 1);
+  EXPECT_EQ(t.backed_bytes(), kBigPageSize + kPageSize);
+}
+
+TEST(ChunkTree, TakeChunksRootIsAllOrNothing) {
+  ChunkTree t;
+  t.set_root();
+  PageMask pages;
+  auto res = t.take_chunks(kPageSize, pages);  // asks for 4 KB, gets 2 MB
+  EXPECT_EQ(res.bytes, kVaBlockSize);
+  EXPECT_EQ(res.chunks, 1u);
+  EXPECT_EQ(pages.count(), kPagesPerBlock);
+  EXPECT_FALSE(t.any());
+}
+
+TEST(ChunkTree, TakeChunksAscendingUntilSatisfied) {
+  ChunkTree t;
+  t.set_base(3);
+  t.set_big(1);    // pages [16, 32)
+  t.set_base(40);  // group 2
+  PageMask pages;
+
+  // 8 KB wanted: page 3 (4 KB) then big chunk 1 (64 KB) — ascending order,
+  // stops once satisfied, leaves page 40 alone.
+  auto res = t.take_chunks(2 * kPageSize, pages);
+  EXPECT_EQ(res.bytes, kPageSize + kBigPageSize);
+  EXPECT_EQ(res.chunks, 2u);
+  EXPECT_TRUE(pages.test(3));
+  EXPECT_TRUE(pages.test(16));
+  EXPECT_TRUE(pages.test(31));
+  EXPECT_FALSE(pages.test(40));
+  EXPECT_TRUE(t.covers(40));
+  EXPECT_EQ(t.backed_bytes(), kPageSize);
+
+  // Asking for more than remains empties the tree.
+  PageMask rest;
+  res = t.take_chunks(kVaBlockSize, rest);
+  EXPECT_EQ(res.bytes, kPageSize);
+  EXPECT_FALSE(t.any());
+}
+
+// --- split-only-under-pressure -------------------------------------------
+
+TEST(Chunking, NoSplitWithoutPressure) {
+  // Undersubscribed: the free fraction never crosses the default
+  // watermarks, so every block keeps the historical 2 MB root backing.
+  SimConfig cfg;
+  cfg.set_gpu_memory(32ull << 20);
+  cfg.enable_fault_log = false;
+  Simulator sim(cfg);
+  auto wl = make_workload("random", 8ull << 20);  // 25 % footprint
+  wl->setup(sim);
+  RunResult r = sim.run();
+
+  EXPECT_EQ(r.counters.blocks_split, 0u);
+  EXPECT_EQ(r.counters.subchunk_allocs, 0u);
+  EXPECT_EQ(r.counters.blocks_coalesced, 0u);
+  EXPECT_EQ(r.counters.partial_evictions, 0u);
+  for (std::size_t b = 0; b < sim.address_space().num_blocks(); ++b) {
+    const VaBlock& blk = sim.address_space().block(b);
+    if (blk.backing.any()) {
+      EXPECT_TRUE(blk.backing.root());
+    }
+  }
+}
+
+TEST(Chunking, StockPathMatchesChunkingDisabledWhenUndersubscribed) {
+  auto run = [](bool enabled) {
+    SimConfig cfg;
+    cfg.set_gpu_memory(32ull << 20);
+    cfg.enable_fault_log = false;
+    cfg.driver.chunking.enabled = enabled;
+    Simulator sim(cfg);
+    auto wl = make_workload("random", 8ull << 20);
+    wl->setup(sim);
+    return sim.run();
+  };
+  RunResult on = run(true);
+  RunResult off = run(false);
+  EXPECT_EQ(on.end_time, off.end_time);
+  EXPECT_EQ(on.counters.faults_serviced, off.counters.faults_serviced);
+  EXPECT_EQ(on.bytes_h2d, off.bytes_h2d);
+  EXPECT_EQ(on.pma_rm_calls, off.pma_rm_calls);
+}
+
+TEST(Chunking, SplitsUnderPressureAndAccountingHolds) {
+  SimConfig cfg;
+  cfg.set_gpu_memory(16ull << 20);
+  cfg.enable_fault_log = false;
+  cfg.driver.prefetch_enabled = false;  // scattered demand stays scattered
+  Simulator sim(cfg);
+  auto wl = make_workload("random", 24ull << 20);  // 150 %
+  wl->setup(sim);
+  RunResult r = sim.run();
+
+  EXPECT_GT(r.counters.blocks_split, 0u);
+  EXPECT_GT(r.counters.subchunk_allocs, 0u);
+  EXPECT_GT(r.counters.evictions, 0u);
+
+  // Chunk-tree bytes and PMA bytes agree exactly at end of run.
+  std::uint64_t backed_bytes = 0;
+  for (std::size_t b = 0; b < sim.address_space().num_blocks(); ++b) {
+    const VaBlock& blk = sim.address_space().block(b);
+    backed_bytes += blk.backing.backed_bytes();
+    // Residency only lives on backed chunks.
+    EXPECT_EQ(blk.gpu_resident.and_not(blk.backing.backed_pages()).count(),
+              0u);
+  }
+  EXPECT_EQ(backed_bytes, sim.pma().bytes_in_use());
+  EXPECT_EQ(r.bytes_d2h, r.counters.pages_evicted * kPageSize);
+}
+
+// --- re-coalescing --------------------------------------------------------
+
+TEST(Chunking, RecoalesceOnFullResidency) {
+  // Watermarks above 1.0 force sub-chunk backing unconditionally; a regular
+  // sweep then fills each block, which must re-merge into root chunks.
+  SimConfig cfg;
+  cfg.set_gpu_memory(16ull << 20);
+  cfg.enable_fault_log = false;
+  cfg.driver.chunking.split_watermark = 2.0;
+  cfg.driver.chunking.fine_watermark = 2.0;
+  cfg.driver.prefetch_enabled = false;  // scattered demand, partial bins
+  Simulator sim(cfg);
+  auto wl = make_workload("random", 8ull << 20);  // 4 full blocks, fits
+  wl->setup(sim);
+  RunResult r = sim.run();
+
+  EXPECT_GT(r.counters.blocks_split, 0u);
+  EXPECT_GT(r.counters.blocks_coalesced, 0u);
+  std::uint64_t roots = 0;
+  for (std::size_t b = 0; b < sim.address_space().num_blocks(); ++b) {
+    const VaBlock& blk = sim.address_space().block(b);
+    if (blk.fully_resident()) {
+      EXPECT_TRUE(blk.backing.root());
+      ++roots;
+    }
+  }
+  EXPECT_GT(roots, 0u);
+}
+
+TEST(Chunking, NoRecoalesceWhenDisabled) {
+  SimConfig cfg;
+  cfg.set_gpu_memory(16ull << 20);
+  cfg.enable_fault_log = false;
+  cfg.driver.chunking.split_watermark = 2.0;
+  cfg.driver.chunking.fine_watermark = 2.0;
+  cfg.driver.chunking.coalesce = false;
+  cfg.driver.prefetch_enabled = false;
+  Simulator sim(cfg);
+  auto wl = make_workload("random", 8ull << 20);
+  wl->setup(sim);
+  RunResult r = sim.run();
+  EXPECT_GT(r.counters.blocks_split, 0u);
+  EXPECT_EQ(r.counters.blocks_coalesced, 0u);
+}
+
+// --- chunk-granularity eviction ------------------------------------------
+
+TEST(Chunking, EvictionFreesOnlyDemandedChunks) {
+  // 64 KiB GPU = 16 page frames. Fault 8 pages into each of two blocks
+  // (all 4 KB chunks under forced fine pressure), then one more: the LRU
+  // victim loses exactly one 4 KB chunk, not its whole backing.
+  SimConfig cfg;
+  cfg.set_gpu_memory(64ull << 10);
+  cfg.pma.slab_chunks = 1;
+  cfg.enable_fault_log = false;
+  cfg.driver.chunking.split_watermark = 2.0;
+  cfg.driver.chunking.fine_watermark = 2.0;
+  cfg.driver.prefetch_enabled = false;
+  cfg.costs.driver_cold_start = 0;
+
+  Simulator sim(cfg);
+  RangeId rid = sim.malloc_managed(4ull << 20, "data");  // 2 blocks
+  const VaRange& r = sim.address_space().range(rid);
+
+  auto fault_page = [&](std::uint64_t block, std::uint32_t page) {
+    FaultEntry e;
+    e.page = r.first_page + block * kPagesPerBlock + page;
+    e.block = block_of_page(e.page);
+    e.range = rid;
+    ASSERT_TRUE(sim.fault_buffer().push(e, sim.event_queue().now()));
+    sim.driver().on_gpu_interrupt();
+    sim.event_queue().run();
+  };
+  // Scattered pages (one per big group) so no 64 KB chunk is dense enough.
+  for (std::uint32_t i = 0; i < 8; ++i) fault_page(0, i * 17);
+  for (std::uint32_t i = 0; i < 8; ++i) fault_page(1, i * 17);
+  ASSERT_EQ(sim.driver().counters().evictions, 0u);
+
+  fault_page(1, 8 * 17);  // 17th frame: forces a 4 KB eviction
+
+  const DriverCounters& c = sim.driver().counters();
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(c.partial_evictions, 1u);
+  EXPECT_EQ(c.chunks_evicted, 1u);
+  EXPECT_EQ(c.pages_evicted, 1u);
+
+  // Block 0 (LRU victim) lost exactly its lowest chunk, kept the rest.
+  const VaBlock& blk0 = sim.address_space().block(r.first_block);
+  EXPECT_FALSE(blk0.gpu_resident.test(0));
+  EXPECT_FALSE(blk0.backing.covers(0));
+  EXPECT_TRUE(blk0.gpu_resident.test(17));
+  EXPECT_EQ(blk0.backing.backed_bytes(), 7 * kPageSize);
+}
+
+// --- the paper's oversubscription verdict --------------------------------
+
+TEST(Chunking, PrefetchOffWinsUnderRandomOversubscription) {
+  // Fig. 9's headline: with chunked backing, disabling prefetching improves
+  // oversubscribed random-access performance — prefetch keeps demanding
+  // whole blocks that evict before use while demand paging gets cheap
+  // 4 KB backing.
+  auto run = [](bool prefetch) {
+    SimConfig cfg;
+    cfg.set_gpu_memory(32ull << 20);
+    cfg.enable_fault_log = false;
+    cfg.driver.prefetch_enabled = prefetch;
+    Simulator sim(cfg);
+    auto wl = make_workload("random", 64ull << 20);  // 200 %
+    wl->setup(sim);
+    return sim.run();
+  };
+  RunResult pf = run(true);
+  RunResult nopf = run(false);
+  EXPECT_LT(nopf.total_kernel_time(), pf.total_kernel_time());
+}
+
+}  // namespace
+}  // namespace uvmsim

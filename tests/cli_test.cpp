@@ -158,9 +158,22 @@ TEST(Cli, ReplayMissingTraceFails) {
 TEST(Cli, ConfigKnobsAccepted) {
   CmdResult r = run_cli(
       "--workload random --size-mib 6 --gpu-mib 16 --prefetch adaptive "
-      "--policy once --eviction access_counter --granularity-kib 256 "
+      "--policy once --eviction access_counter --chunking on "
+      "--split-watermark 0.1 --fine-watermark 0.02 "
       "--batch-size 64 --thrash pin --seed 7");
   EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Cli, BadChunkingConfigRejected) {
+  CmdResult r = run_cli("--workload regular --size-mib 4 --chunking maybe");
+  EXPECT_NE(r.exit_code, 0) << r.output;
+
+  // fine > split violates the watermark ordering: config error exit code.
+  CmdResult r2 = run_cli(
+      "--workload regular --size-mib 4 --split-watermark 0.1 "
+      "--fine-watermark 0.5");
+  EXPECT_EQ(r2.exit_code, 2) << r2.output;
+  EXPECT_NE(r2.output.find("config error"), std::string::npos);
 }
 
 TEST(Cli, ConfigErrorGetsDistinctExitCode) {

@@ -159,7 +159,8 @@ TEST_F(DriverTest, BadConfigsThrow) {
   EXPECT_THROW(Driver(bad, cm, deps), std::invalid_argument);
 
   DriverConfig bad2;
-  bad2.alloc_granularity_bytes = 3 * kPageSize;  // doesn't divide 2 MiB
+  bad2.chunking.split_watermark = 0.1;  // below the fine watermark
+  bad2.chunking.fine_watermark = 0.5;
   EXPECT_THROW(Driver(bad2, cm, deps), std::invalid_argument);
 }
 

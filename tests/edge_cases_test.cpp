@@ -137,7 +137,11 @@ TEST(EdgeCases, SingleSmMachine) {
 }
 
 TEST(EdgeCases, ManyRangesInterleaved) {
-  Simulator sim(base());
+  SimConfig cfg = base();
+  // Demand paging only: each access then faults exactly once, independent
+  // of how the backing policy shapes residency under pressure.
+  cfg.driver.prefetch_enabled = false;
+  Simulator sim(cfg);
   // 16 small allocations, one kernel touching them all round-robin.
   std::vector<const VaRange*> ranges;
   std::vector<RangeId> ids;

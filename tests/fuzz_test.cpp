@@ -44,11 +44,13 @@ FuzzCase make_config(Rng& rng) {
       cfg.driver.access_counter_migration;
   cfg.driver.pipelined_migrations = rng.next_below(3) == 0;
 
-  static constexpr std::uint64_t kGrans[] = {64ull << 10, 256ull << 10,
-                                             512ull << 10, 2048ull << 10};
-  std::uint64_t gran = kGrans[rng.next_below(4)];
-  cfg.driver.alloc_granularity_bytes = gran;
-  cfg.pma.chunk_bytes = gran;
+  cfg.driver.chunking.enabled = rng.next_below(4) != 0;
+  static constexpr double kSplits[] = {0.0, 1.0 / 16, 1.0 / 4, 2.0};
+  cfg.driver.chunking.split_watermark = kSplits[rng.next_below(4)];
+  cfg.driver.chunking.fine_watermark =
+      cfg.driver.chunking.split_watermark *
+      (rng.next_below(2) == 0 ? 1.0 : 0.25);
+  cfg.driver.chunking.coalesce = rng.next_below(2) == 0;
   cfg.pma.slab_chunks = static_cast<std::uint32_t>(1 + rng.next_below(32));
 
   cfg.fault_buffer.capacity =
@@ -161,12 +163,13 @@ TEST_P(FuzzInvariants, SystemInvariantsHold) {
   // Residency within physical capacity (remote mappings use none).
   EXPECT_LE(r.resident_pages_at_end * kPageSize, fc.cfg.gpu_memory());
 
-  // PMA accounting consistent with block backing.
-  std::uint64_t backed = 0;
+  // PMA accounting consistent with block backing: every chunk-tree byte is
+  // a PMA byte and vice versa, at any chunk granularity mix.
+  std::uint64_t backed_bytes = 0;
   for (std::size_t b = 0; b < sim.address_space().num_blocks(); ++b) {
-    backed += sim.address_space().block(b).backed_slices.count();
+    backed_bytes += sim.address_space().block(b).backing.backed_bytes();
   }
-  EXPECT_EQ(backed, sim.pma().chunks_in_use());
+  EXPECT_EQ(backed_bytes, sim.pma().bytes_in_use());
 
   // Fault conservation.
   EXPECT_EQ(r.counters.faults_fetched,

@@ -211,8 +211,6 @@ TEST(GracefulDegradation, NoVictimFallsBackToRemoteMapping) {
   SimConfig cfg;
   cfg.set_gpu_memory(1ull << 20);
   cfg.enable_fault_log = false;
-  cfg.driver.alloc_granularity_bytes = 64ull << 10;
-  cfg.pma.chunk_bytes = 64ull << 10;
   RunResult r = run_regular(cfg, 2ull << 20);
   EXPECT_GT(r.counters.eviction_victim_unavailable, 0u);
   EXPECT_GT(r.counters.degraded_remote_pages, 0u);

@@ -40,11 +40,11 @@ TEST_P(SystemProperties, InvariantsHold) {
   EXPECT_LE(r.resident_pages_at_end * kPageSize, cfg.gpu_memory());
 
   // 3. PMA accounting is consistent with block backing.
-  std::uint64_t backed = 0;
+  std::uint64_t backed_bytes = 0;
   for (std::size_t b = 0; b < sim.address_space().num_blocks(); ++b) {
-    backed += sim.address_space().block(b).backed_slices.count();
+    backed_bytes += sim.address_space().block(b).backing.backed_bytes();
   }
-  EXPECT_EQ(backed, sim.pma().chunks_in_use());
+  EXPECT_EQ(backed_bytes, sim.pma().bytes_in_use());
 
   // 4. Interconnect bytes match page movement exactly.
   EXPECT_EQ(r.bytes_h2d,

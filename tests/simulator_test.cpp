@@ -101,16 +101,16 @@ TEST(Simulator, ResidencyNeverExceedsCapacity) {
   EXPECT_GT(r.bytes_d2h, 0u);
 }
 
-TEST(Simulator, PmaInUseMatchesBackedSlices) {
+TEST(Simulator, PmaInUseMatchesBackedBytes) {
   Simulator sim(small_cfg());
   RegularTouch wl(8ull << 20);
   wl.setup(sim);
   sim.run();
-  std::uint64_t backed = 0;
+  std::uint64_t backed_bytes = 0;
   for (std::size_t b = 0; b < sim.address_space().num_blocks(); ++b) {
-    backed += sim.address_space().block(b).backed_slices.count();
+    backed_bytes += sim.address_space().block(b).backing.backed_bytes();
   }
-  EXPECT_EQ(backed, sim.pma().chunks_in_use());
+  EXPECT_EQ(backed_bytes, sim.pma().bytes_in_use());
 }
 
 TEST(Simulator, FaultLogDisabledStaysEmpty) {

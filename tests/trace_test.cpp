@@ -25,6 +25,27 @@ TraceConfig cfg_with(std::size_t cap,
   return c;
 }
 
+/// The wall-clock stamp is the only nondeterministic field; strip every
+/// `,"wall_ns":<digits>` occurrence.
+std::string strip_wall_ns(const std::string& s) {
+  static const std::string kKey = ",\"wall_ns\":";
+  std::string out;
+  out.reserve(s.size());
+  std::size_t pos = 0;
+  for (;;) {
+    std::size_t hit = s.find(kKey, pos);
+    if (hit == std::string::npos) break;
+    out.append(s, pos, hit - pos);
+    pos = hit + kKey.size();
+    while (pos < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[pos])) != 0) {
+      ++pos;
+    }
+  }
+  out.append(s, pos, std::string::npos);
+  return out;
+}
+
 TEST(TraceCategoryNames, RoundTrip) {
   for (std::uint32_t i = 0;
        i < static_cast<std::uint32_t>(TraceCategory::kCount); ++i) {
@@ -126,6 +147,29 @@ TEST(ChromeTrace, EmitsWellFormedEvents) {
   EXPECT_NE(s.find("\"args\":{\"name\":\"eviction\"}"), std::string::npos);
 }
 
+TEST(ChromeTrace, HostileNamesAreEscapedGolden) {
+  // Event and argument names come from caller-controlled strings (range
+  // labels); quotes, backslashes, and control characters must not be able
+  // to break the trace file. Golden comparison of the emitted record.
+  Tracer tr(cfg_with(16));
+  tr.span(TraceCategory::Service, "a\"b\\c\nd\te\x01" "f", 1000, 2000, 0,
+          "pg\"s", 7);
+  std::ostringstream os;
+  write_chrome_trace(os, tr);
+  std::string s = strip_wall_ns(os.str());
+  EXPECT_NE(s.find("{\"name\":\"a\\\"b\\\\c\\nd\\te\\u0001f\","
+                   "\"cat\":\"service\",\"ph\":\"X\",\"ts\":1.000,"
+                   "\"dur\":1.000,\"pid\":1,\"tid\":2,"
+                   "\"args\":{\"pg\\\"s\":7}}"),
+            std::string::npos)
+      << s;
+  // The raw (unescaped) name must not appear anywhere.
+  EXPECT_EQ(s.find("a\"b\\c\nd"), std::string::npos) << s;
+  // Escaping must not disturb numeric formatting state for later fields.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+}
+
 TEST(ChromeTrace, EmptyEventListIsValidJson) {
   // Regression: with no recorded events the array must not end in a
   // dangling comma after the thread-name metadata records.
@@ -175,27 +219,6 @@ std::string run_and_export(const SimConfig& cfg) {
   std::ostringstream os;
   write_chrome_trace(os, *sim.tracer());
   return os.str();
-}
-
-/// The wall-clock stamp is the only nondeterministic field; strip every
-/// `,"wall_ns":<digits>` occurrence.
-std::string strip_wall_ns(const std::string& s) {
-  static const std::string kKey = ",\"wall_ns\":";
-  std::string out;
-  out.reserve(s.size());
-  std::size_t pos = 0;
-  for (;;) {
-    std::size_t hit = s.find(kKey, pos);
-    if (hit == std::string::npos) break;
-    out.append(s, pos, hit - pos);
-    pos = hit + kKey.size();
-    while (pos < s.size() &&
-           std::isdigit(static_cast<unsigned char>(s[pos])) != 0) {
-      ++pos;
-    }
-  }
-  out.append(s, pos, std::string::npos);
-  return out;
 }
 
 TEST(TraceEndToEnd, GoldenTraceIsDeterministicModuloWallClock) {

@@ -36,7 +36,9 @@ struct CliOptions {
   std::uint32_t threshold = 51;
   std::string policy = "batch_flush";
   std::string eviction = "lru";
-  std::uint64_t granularity_kib = 2048;
+  std::string chunking = "on";  // on | off
+  double split_watermark = -1.0;  // < 0 = keep DriverConfig default
+  double fine_watermark = -1.0;
   std::uint32_t batch_size = 256;
   std::string thrash = "off";  // off | detect | pin | throttle
   std::uint64_t seed = 42;
@@ -68,7 +70,12 @@ options:
   --threshold P        density threshold percent 1..100 (default 51)
   --policy P           block | batch | batch_flush | once (default batch_flush)
   --eviction P         lru | access_counter (default lru)
-  --granularity-kib N  allocation slice size, divides 2048 (default 2048)
+  --chunking MODE      on | off — chunked PMA backing: split 2 MB root
+                       chunks to 64 KB/4 KB under memory pressure (default on)
+  --split-watermark F  free-memory fraction below which blocks split to
+                       64 KB chunks (default 1/16)
+  --fine-watermark F   fraction below which partially-wanted big pages
+                       split to 4 KB chunks (default 1/64; <= split)
   --batch-size N       faults per driver batch (default 256)
   --thrash MODE        off | detect | pin | throttle (default off)
   --seed N             simulation seed (default 42)
@@ -145,9 +152,15 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (a == "--eviction") {
       if (!(v = need_value(i))) return std::nullopt;
       o.eviction = v;
-    } else if (a == "--granularity-kib") {
+    } else if (a == "--chunking") {
       if (!(v = need_value(i))) return std::nullopt;
-      o.granularity_kib = std::stoull(v);
+      o.chunking = v;
+    } else if (a == "--split-watermark") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.split_watermark = std::stod(v);
+    } else if (a == "--fine-watermark") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.fine_watermark = std::stod(v);
     } else if (a == "--batch-size") {
       if (!(v = need_value(i))) return std::nullopt;
       o.batch_size = static_cast<std::uint32_t>(std::stoul(v));
@@ -244,8 +257,20 @@ std::optional<SimConfig> to_config(const CliOptions& o) {
   }
 
   cfg.driver.pipelined_migrations = o.pipelined;
-  cfg.driver.alloc_granularity_bytes = o.granularity_kib << 10;
-  cfg.pma.chunk_bytes = cfg.driver.alloc_granularity_bytes;
+  if (o.chunking == "on") {
+    cfg.driver.chunking.enabled = true;
+  } else if (o.chunking == "off") {
+    cfg.driver.chunking.enabled = false;
+  } else {
+    std::cerr << "bad --chunking: " << o.chunking << "\n";
+    return std::nullopt;
+  }
+  if (o.split_watermark >= 0.0) {
+    cfg.driver.chunking.split_watermark = o.split_watermark;
+  }
+  if (o.fine_watermark >= 0.0) {
+    cfg.driver.chunking.fine_watermark = o.fine_watermark;
+  }
 
   cfg.hazards.seed = o.hazard_seed;
   cfg.hazards.dma_fail_rate = o.hazard_dma;
