@@ -10,11 +10,13 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/atomic_file.h"
 #include "core/simulator.h"
 #include "workloads/registry.h"
 
@@ -78,12 +80,15 @@ inline RunResult run_workload_traced(SimConfig cfg, const std::string& name,
   auto wl = make_workload(name, target_bytes);
   wl->setup(sim);
   RunResult r = sim.run();
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot write trace: " << path << "\n";
+  // Atomic replace: a killed bench never leaves a half-written JSON for the
+  // next tool (Perfetto, the CI parse check) to choke on.
+  try {
+    atomic_write_file(
+        path, [&sim](std::ostream& out) { write_chrome_trace(out, *sim.tracer()); });
+  } catch (const std::exception& e) {
+    std::cerr << "cannot write trace: " << e.what() << "\n";
     return r;
   }
-  write_chrome_trace(out, *sim.tracer());
   std::cout << "driver trace: " << sim.tracer()->recorded()
             << " events -> " << path << "\n";
   return r;

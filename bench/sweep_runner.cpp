@@ -1,33 +1,9 @@
 #include "sweep_runner.h"
 
-#include <cstdlib>
-#include <iostream>
-#include <string>
-#include <thread>
-
 namespace uvmsim::bench {
 
-std::size_t sweep_threads() {
-  const char* v = std::getenv("UVMSIM_THREADS");
-  if (v == nullptr || *v == '\0') return 1;
-  char* end = nullptr;
-  const unsigned long n = std::strtoul(v, &end, 10);
-  if (end == v || *end != '\0' || v[0] == '-') {
-    std::cerr << "uvmsim: ignoring invalid UVMSIM_THREADS=\"" << v
-              << "\" (want a non-negative integer); running serial\n";
-    return 1;
-  }
-  if (n == 0) {
-    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  return static_cast<std::size_t>(n);
-}
+std::size_t sweep_threads() { return campaign::default_workers(); }
 
-SweepRunner::SweepRunner(std::size_t threads)
-    : threads_(threads == 0 ? std::max<std::size_t>(
-                                  1, std::thread::hardware_concurrency())
-                            : threads) {
-  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
-}
+SweepRunner::SweepRunner(std::size_t threads) : exec_(threads) {}
 
 }  // namespace uvmsim::bench

@@ -3,23 +3,31 @@
 // The paper's figures are parameter sweeps (oversubscription ratios x
 // workloads x policies); every sweep point is an independent, strictly
 // single-threaded, deterministic simulation. SweepRunner fans those points
-// across the existing ThreadPool and hands the results back in sweep order,
-// so a bench computes all its RunResults first and prints afterwards —
-// stdout is byte-identical for any thread count.
+// across the shared campaign::TaskExecutor backend and hands the results
+// back in sweep order, so a bench computes all its RunResults first and
+// prints afterwards — stdout is byte-identical for any thread count.
+//
+// Failure containment: an exception thrown inside one sweep-point task is
+// captured per point; every remaining point still runs. After the sweep
+// completes, a single SweepError reports the first failing point (with its
+// parameters, when the point type is printable) and the total failure
+// count. A sweep with no failures behaves exactly as before.
 //
 // Thread count comes from the UVMSIM_THREADS environment variable. Unset or
-// 1 means today's serial behavior: points run inline on the calling thread,
-// in order, with no pool at all. 0 means hardware concurrency.
+// 1 means serial: points run inline on the calling thread, in order, with
+// no pool at all. 0 means hardware concurrency.
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <future>
-#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
-#include "sim/thread_pool.h"
+#include "campaign/executor.h"
+#include "core/errors.h"
 
 namespace uvmsim::bench {
 
@@ -32,43 +40,77 @@ class SweepRunner {
   /// A runner with `threads` workers; defaults to sweep_threads().
   explicit SweepRunner(std::size_t threads = sweep_threads());
 
-  [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] std::size_t threads() const { return exec_.threads(); }
 
   /// Runs job(i) for i in [0, n) and returns the results indexed by i.
   /// Serial (threads == 1) executes inline in ascending order; parallel
   /// execution order is arbitrary but the returned vector is always in
-  /// sweep order. Jobs must not print (collect, then print). The first
-  /// exception thrown by any job propagates.
+  /// sweep order. Jobs must not print (collect, then print). A job that
+  /// throws is captured per point — the remaining points keep running —
+  /// and one SweepError summarizing the failures is thrown at the end.
   template <typename Job>
   auto map(std::size_t n, Job&& job)
       -> std::vector<std::invoke_result_t<Job, std::size_t>> {
-    using R = std::invoke_result_t<Job, std::size_t>;
-    std::vector<R> out;
-    out.reserve(n);
-    if (pool_ == nullptr) {
-      for (std::size_t i = 0; i < n; ++i) out.push_back(job(i));
-      return out;
-    }
-    std::vector<std::future<R>> futs;
-    futs.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      futs.push_back(pool_->submit([&job, i] { return job(i); }));
-    }
-    for (auto& f : futs) out.push_back(f.get());
-    return out;
+    return map_described(n, std::forward<Job>(job), [](std::size_t i) {
+      return "sweep point " + std::to_string(i);
+    });
   }
 
   /// Sweeps `f` over `points`, returning f(point) per point in input order.
+  /// When a point fails, the SweepError names the point's parameters if
+  /// Point is ostream-printable (falls back to the index otherwise).
   template <typename Point, typename F>
   auto sweep(const std::vector<Point>& points, F&& f)
       -> std::vector<std::invoke_result_t<F, const Point&>> {
-    return map(points.size(),
-               [&points, &f](std::size_t i) { return f(points[i]); });
+    return map_described(
+        points.size(), [&points, &f](std::size_t i) { return f(points[i]); },
+        [&points](std::size_t i) {
+          std::string desc = "sweep point " + std::to_string(i);
+          if constexpr (kStreamable<Point>) {
+            std::ostringstream os;
+            os << desc << " [" << points[i] << "]";
+            desc = os.str();
+          }
+          return desc;
+        });
   }
 
  private:
-  std::size_t threads_;
-  std::unique_ptr<ThreadPool> pool_;  // null when serial
+  template <typename T>
+  static constexpr bool kStreamable =
+      requires(std::ostream& os, const T& t) { os << t; };
+
+  /// Shared body: run everything, then either unwrap in order or throw one
+  /// aggregated SweepError describing the first failure.
+  template <typename Job, typename Describe>
+  auto map_described(std::size_t n, Job&& job, Describe&& describe)
+      -> std::vector<std::invoke_result_t<Job, std::size_t>> {
+    using R = std::invoke_result_t<Job, std::size_t>;
+    auto outcomes = exec_.map_capture(n, std::forward<Job>(job));
+    std::size_t failed = 0;
+    std::size_t first = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!outcomes[i].ok()) {
+        ++failed;
+        if (first == n) first = i;
+      }
+    }
+    if (failed > 0) {
+      std::string msg = describe(first) + ": " + outcomes[first].error;
+      if (failed > 1) {
+        msg += " (and " + std::to_string(failed - 1) + " more of " +
+               std::to_string(n) + " points failed)";
+      }
+      msg += "; all remaining points completed";
+      throw SweepError(first, failed, n, msg);
+    }
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& o : outcomes) out.push_back(std::move(*o.value));
+    return out;
+  }
+
+  campaign::TaskExecutor exec_;
 };
 
 }  // namespace uvmsim::bench

@@ -100,6 +100,9 @@ if command -v python3 >/dev/null 2>&1; then
   echo "$BENCH_OUT parses"
 fi
 
+echo "== campaign kill-and-resume smoke (SIGKILL x resume determinism) =="
+scripts/campaign_smoke.sh build
+
 echo "== sanitized build (ASan + UBSan) =="
 cmake -B build-asan -S . -DUVMSIM_SANITIZE=address
 cmake --build build-asan -j"$JOBS"

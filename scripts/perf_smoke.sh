@@ -127,9 +127,16 @@ out = {
         "stdout_identical": True,
     },
 }
-with open(os.environ["BENCH_OUT"], "w") as f:
+# Atomic replace (tmp + os.replace): a killed run never leaves a torn
+# BENCH json behind for the CI parse check to choke on.
+bench_out = os.environ["BENCH_OUT"]
+tmp_out = bench_out + ".tmp"
+with open(tmp_out, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
+    f.flush()
+    os.fsync(f.fileno())
+os.replace(tmp_out, bench_out)
 
 print(f"wrote {os.environ['BENCH_OUT']}")
 for name in sorted(micro):

@@ -1,0 +1,78 @@
+// Campaign: a crash-safe fleet of experiment runs.
+//
+// Feed it a queue of RunRequests and a store directory; it dedupes the
+// queue through the content-addressed result cache, shards the remaining
+// work across TaskExecutor workers (optionally fork/exec'd uvmsim_cli
+// children), retries classified-retryable failures with deterministic
+// backoff, quarantines poison requests after the attempt budget, and
+// checkpoints every outcome through the journal so a SIGKILL at any
+// instant costs at most the attempts in flight.
+//
+// Determinism contract: for a fixed queue + campaign config, the final
+// result store (results/, MANIFEST.tsv, failures.tsv) is byte-identical
+// whether the campaign ran uninterrupted or was killed and resumed at
+// arbitrary points, for any worker count. Everything that could vary —
+// scheduling order, wall-clock, worker identity, attempt interleaving —
+// is kept out of the committed artifacts; the journal is the only
+// order-dependent file and is excluded from the contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/request.h"
+#include "campaign/scheduler.h"
+#include "sim/hazards.h"
+
+namespace uvmsim::campaign {
+
+struct CampaignConfig {
+  std::string store_dir;
+  /// Worker count; 0 = UVMSIM_THREADS via default_workers().
+  std::size_t workers = 0;
+  /// fork/exec uvmsim_cli per attempt instead of running inline.
+  bool process_isolation = false;
+  /// The uvmsim_cli binary (process isolation only).
+  std::string cli_path;
+  /// Wall-clock watchdog per attempt, process isolation only (0 = none).
+  std::uint64_t run_timeout_ms = 60000;
+  RetryPolicy retry;
+  CampaignHazardConfig hazards;
+};
+
+struct CampaignReport {
+  std::size_t queued = 0;       ///< queue entries, duplicates included
+  std::size_t unique = 0;       ///< distinct content addresses
+  std::size_t deduped = 0;      ///< queued - unique
+  std::size_t cached = 0;       ///< results already present at start
+  std::size_t executed = 0;     ///< attempts run this session
+  std::size_t retried = 0;      ///< failed attempts that were retried
+  std::size_t completed = 0;    ///< unique requests with committed results
+  std::size_t quarantined = 0;  ///< unique requests given up on
+  std::size_t journal_damaged_lines = 0;
+  /// One line per quarantined request, sorted by id:
+  /// "<id>\t<kind>\t<attempts>\t<detail>".
+  std::vector<std::string> quarantine_lines;
+
+  [[nodiscard]] bool all_completed() const { return quarantined == 0; }
+};
+
+class Campaign {
+ public:
+  /// Validates the config (ConfigError for process isolation without a
+  /// cli path, invalid hazard rates, max_attempts == 0).
+  Campaign(CampaignConfig cfg, std::vector<RunRequest> queue);
+
+  /// Runs (or resumes) the campaign to completion and writes the final
+  /// MANIFEST.tsv / failures.tsv. Throws IoError on environment failures;
+  /// per-run failures never propagate — they classify, retry, quarantine.
+  CampaignReport run();
+
+ private:
+  CampaignConfig cfg_;
+  std::vector<RunRequest> queue_;
+};
+
+}  // namespace uvmsim::campaign

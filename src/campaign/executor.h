@@ -1,0 +1,111 @@
+// TaskExecutor — the worker-fanout backend shared by bench::SweepRunner and
+// the campaign scheduler.
+//
+// Both callers have the same shape of problem: N independent, deterministic
+// tasks whose failures must be contained per task (one poison point or
+// poison request must not take down the fleet) and whose results must come
+// back in submission order so downstream output stays byte-identical for
+// any worker count. TaskExecutor owns the ThreadPool (or runs inline when
+// serial) and provides exactly that contract; policy — what to do with a
+// captured failure — stays with the caller (SweepRunner aggregates into a
+// SweepError, the campaign classifies and retries).
+//
+// Worker count comes from the UVMSIM_THREADS environment variable via
+// default_workers(): unset/1 = serial inline execution, 0 = hardware
+// concurrency, N = N workers.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/thread_pool.h"
+
+namespace uvmsim::campaign {
+
+/// Worker count requested via UVMSIM_THREADS (unset/1 = serial, 0 = one per
+/// hardware thread). Invalid values warn on stderr and fall back to serial.
+[[nodiscard]] std::size_t default_workers();
+
+/// Outcome of one task: either a value or the captured exception's message.
+template <typename R>
+struct TaskOutcome {
+  std::optional<R> value;
+  std::string error;  ///< empty iff value is set
+
+  [[nodiscard]] bool ok() const { return value.has_value(); }
+};
+
+class TaskExecutor {
+ public:
+  /// An executor with `threads` workers; defaults to default_workers().
+  /// 0 resolves to hardware concurrency.
+  explicit TaskExecutor(std::size_t threads = default_workers());
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Runs job(i) for i in [0, n) and invokes on_done(i, outcome) on the
+  /// *calling* thread, in ascending index order, as results become
+  /// available. Exceptions thrown by a job are captured into the outcome —
+  /// every task always runs, regardless of earlier failures. Serial
+  /// execution (threads == 1) runs each job inline, interleaving job and
+  /// on_done, so a caller can checkpoint incrementally in both modes.
+  template <typename Job, typename OnDone>
+  void map_each(std::size_t n, Job&& job, OnDone&& on_done) {
+    using R = std::invoke_result_t<Job, std::size_t>;
+    if (pool_ == nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        on_done(i, run_one<R>(job, i));
+      }
+      return;
+    }
+    std::vector<std::future<TaskOutcome<R>>> futs;
+    futs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futs.push_back(
+          pool_->submit([&job, i] { return run_one<R>(job, i); }));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      on_done(i, futs[i].get());
+    }
+  }
+
+  /// Runs job(i) for i in [0, n) and returns the outcomes indexed by i.
+  /// Never throws for job failures — inspect the outcomes.
+  template <typename Job>
+  auto map_capture(std::size_t n, Job&& job)
+      -> std::vector<TaskOutcome<std::invoke_result_t<Job, std::size_t>>> {
+    using R = std::invoke_result_t<Job, std::size_t>;
+    std::vector<TaskOutcome<R>> out(n);
+    map_each(n, std::forward<Job>(job),
+             [&out](std::size_t i, TaskOutcome<R> o) { out[i] = std::move(o); });
+    return out;
+  }
+
+ private:
+  template <typename R, typename Job>
+  static TaskOutcome<R> run_one(Job& job, std::size_t i) {
+    TaskOutcome<R> o;
+    try {
+      o.value.emplace(job(i));
+    } catch (const std::exception& e) {
+      o.error = e.what();
+      if (o.error.empty()) o.error = "(exception with empty message)";
+    } catch (...) {
+      o.error = "(non-standard exception)";
+    }
+    return o;
+  }
+
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
+};
+
+}  // namespace uvmsim::campaign

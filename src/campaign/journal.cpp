@@ -1,0 +1,202 @@
+#include "campaign/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace uvmsim::campaign {
+
+namespace {
+
+constexpr const char* kMagic = "J1 ";
+
+std::uint32_t crc32_fnv(const std::string& s) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::string hex8(std::uint32_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(8) << v;
+  return os.str();
+}
+
+const char* kind_name(JournalRecord::Kind k) {
+  switch (k) {
+    case JournalRecord::Kind::Done: return "done";
+    case JournalRecord::Kind::Fail: return "fail";
+    case JournalRecord::Kind::Quarantine: return "quarantine";
+  }
+  return "?";
+}
+
+bool parse_failure_kind(const std::string& s, FailureKind& out) {
+  for (const FailureKind k :
+       {FailureKind::None, FailureKind::Config, FailureKind::Simulation,
+        FailureKind::Crash, FailureKind::Timeout, FailureKind::Io}) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses one payload (no magic, no checksum). Returns false on any
+/// malformation — the caller skips the line.
+bool parse_payload(const std::string& payload, JournalRecord& rec) {
+  std::istringstream is(payload);
+  std::string kind, id;
+  if (!(is >> kind >> id)) return false;
+  if (id.size() != 16 ||
+      id.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return false;
+  }
+  rec.id = id;
+  if (kind == "done") {
+    rec.kind = JournalRecord::Kind::Done;
+    rec.attempt = 0;
+    rec.failure = FailureKind::None;
+    rec.detail.clear();
+    std::string extra;
+    return !(is >> extra);  // trailing tokens => damaged
+  }
+  if (kind != "fail" && kind != "quarantine") return false;
+  rec.kind = kind == "fail" ? JournalRecord::Kind::Fail
+                            : JournalRecord::Kind::Quarantine;
+  std::uint32_t attempt = 0;
+  std::string fk;
+  if (!(is >> attempt >> fk)) return false;
+  if (attempt == 0) return false;
+  if (!parse_failure_kind(fk, rec.failure)) return false;
+  if (rec.failure == FailureKind::None) return false;
+  rec.attempt = attempt;
+  std::getline(is, rec.detail);
+  if (!rec.detail.empty() && rec.detail[0] == ' ') rec.detail.erase(0, 1);
+  return true;
+}
+
+}  // namespace
+
+std::string Journal::encode_payload(const JournalRecord& rec) {
+  std::ostringstream os;
+  os << kind_name(rec.kind) << ' ' << rec.id;
+  if (rec.kind != JournalRecord::Kind::Done) {
+    os << ' ' << rec.attempt << ' ' << to_string(rec.failure);
+    if (!rec.detail.empty()) os << ' ' << rec.detail;
+  }
+  return os.str();
+}
+
+Journal::Journal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw IoError("cannot open journal '" + path_ +
+                  "': " + std::strerror(errno));
+  }
+  // Seal a torn tail (no trailing newline) so this session's first record
+  // cannot be swallowed into the damaged line during the next recovery.
+  const ::off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size > 0) {
+    char last = '\n';
+    if (::pread(fd_, &last, 1, size - 1) == 1 && last != '\n') {
+      (void)!::write(fd_, "\n", 1);
+    }
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+JournalState Journal::recover() const {
+  JournalState st;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return st;  // nothing journaled yet
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto bar = line.rfind('|');
+    bool ok = line.rfind(kMagic, 0) == 0 && bar != std::string::npos &&
+              line.size() == bar + 9;
+    JournalRecord rec;
+    if (ok) {
+      const std::string payload = line.substr(3, bar - 3);
+      ok = hex8(crc32_fnv(payload)) == line.substr(bar + 1) &&
+           parse_payload(payload, rec);
+    }
+    if (!ok) {
+      ++st.damaged_lines;
+      continue;
+    }
+    ++st.valid_records;
+    switch (rec.kind) {
+      case JournalRecord::Kind::Done:
+        st.done.insert(rec.id);
+        break;
+      case JournalRecord::Kind::Fail:
+        // Attempts are cumulative; the highest recorded attempt wins (a
+        // replayed resume may re-record an attempt after a torn line).
+        if (rec.attempt > st.attempts[rec.id]) {
+          st.attempts[rec.id] = rec.attempt;
+        }
+        break;
+      case JournalRecord::Kind::Quarantine:
+        st.quarantined[rec.id] = rec;
+        break;
+    }
+  }
+  return st;
+}
+
+void Journal::append(const JournalRecord& rec) {
+  const std::string payload = encode_payload(rec);
+  std::string line = kMagic + payload + "|" + hex8(crc32_fnv(payload)) + "\n";
+
+  std::lock_guard lock(mu_);
+  ++session_records_;
+  if (tear_next_) {
+    tear_next_ = false;
+    // Model a tear: half the record, no newline, no fsync discipline.
+    line = line.substr(0, line.size() / 2);
+  }
+  const char* p = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("journal append failed: " +
+                    std::string(std::strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw IoError("journal fsync failed: " +
+                  std::string(std::strerror(errno)));
+  }
+}
+
+void Journal::tear_next_append() {
+  std::lock_guard lock(mu_);
+  tear_next_ = true;
+}
+
+std::uint64_t Journal::session_records() const {
+  std::lock_guard lock(mu_);
+  return session_records_;
+}
+
+}  // namespace uvmsim::campaign

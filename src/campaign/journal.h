@@ -1,0 +1,92 @@
+// Append-only checkpoint journal for campaign progress.
+//
+// Every completed attempt lands one line in `journal.log`:
+//
+//   J1 done <id>|<crc>
+//   J1 fail <id> <attempt> <kind> <detail>|<crc>
+//   J1 quarantine <id> <attempts> <kind> <detail>|<crc>
+//
+// where <crc> is 8 hex digits of a FNV-1a checksum over the payload before
+// the '|'. Appends are single write(2) calls followed by fsync, so a
+// SIGKILL can at worst tear the final record — it cannot corrupt earlier
+// ones. Recovery tolerates *any* damaged line (truncated tail, torn
+// mid-file record, checksum mismatch): the line is counted and skipped,
+// and the run it described is simply redone. Because every run is
+// deterministic and results are committed atomically before their `done`
+// record, redoing is always safe — this is what makes the resumed result
+// store byte-identical to an uninterrupted one.
+//
+// The journal deliberately records *outcomes only*. An attempt that was in
+// flight when the campaign died has no record and is retried without
+// counting against the quarantine budget; only observed failures burn
+// attempts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "core/errors.h"
+
+namespace uvmsim::campaign {
+
+struct JournalRecord {
+  enum class Kind : std::uint8_t { Done, Fail, Quarantine };
+  Kind kind = Kind::Done;
+  std::string id;               ///< request content address (16 hex)
+  std::uint32_t attempt = 0;    ///< Fail: which attempt; Quarantine: total
+  FailureKind failure = FailureKind::None;
+  std::string detail;           ///< classification detail (no spaces needed;
+                                ///< spaces are preserved verbatim)
+};
+
+/// What a journal replay established about prior sessions.
+struct JournalState {
+  std::set<std::string> done;                      ///< committed result ids
+  std::map<std::string, std::uint32_t> attempts;   ///< id -> failed attempts
+  /// id -> terminal quarantine record (kind/detail/attempts preserved).
+  std::map<std::string, JournalRecord> quarantined;
+  std::size_t valid_records = 0;
+  std::size_t damaged_lines = 0;  ///< torn / checksum-failed lines skipped
+};
+
+class Journal {
+ public:
+  /// Opens (creating if needed) the journal at `path` for appending.
+  /// Throws IoError when the file cannot be opened.
+  explicit Journal(std::string path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Replays the journal from disk, skipping damaged lines.
+  [[nodiscard]] JournalState recover() const;
+
+  /// Appends one record durably (write + fsync). Thread-safe.
+  void append(const JournalRecord& rec);
+
+  /// Hazard hook: the next append writes only a prefix of its line and no
+  /// newline, modeling a tear; recovery must skip it. Thread-safe.
+  void tear_next_append();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Records appended by this process (hazard keying).
+  [[nodiscard]] std::uint64_t session_records() const;
+
+  /// Serialized record payload (without "J1 " prefix / checksum suffix);
+  /// exposed for tests.
+  [[nodiscard]] static std::string encode_payload(const JournalRecord& rec);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  mutable std::mutex mu_;
+  bool tear_next_ = false;
+  std::uint64_t session_records_ = 0;
+};
+
+}  // namespace uvmsim::campaign

@@ -1,0 +1,93 @@
+// Retry / quarantine state machine for campaign runs.
+//
+// Pure bookkeeping, no I/O and no threads — the Campaign drives it and
+// persists its decisions through the Journal, which is also how a resumed
+// campaign rehydrates it (attempts survive the crash, so a poison config
+// still quarantines after exactly max_attempts failures in total, however
+// many sessions those failures were spread across).
+//
+// Policy: a Config failure is deterministic and quarantines immediately;
+// every retryable kind (crash / timeout / simulation / io) burns one
+// attempt and retries with deterministic exponential backoff until
+// max_attempts, then quarantines. Success always commits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/errors.h"
+
+namespace uvmsim::campaign {
+
+struct RetryPolicy {
+  /// Total attempts a request may burn before quarantine (>= 1).
+  std::uint32_t max_attempts = 3;
+  /// Backoff before retry attempt k (2-based): base << (k - 2), capped.
+  /// Deterministic by construction — wall-clock only, never part of results.
+  std::uint32_t backoff_base_ms = 20;
+  std::uint32_t backoff_cap_ms = 2000;
+
+  [[nodiscard]] std::uint32_t backoff_ms(std::uint32_t attempt) const {
+    if (attempt <= 1) return 0;
+    std::uint64_t ms = backoff_base_ms;
+    for (std::uint32_t i = 2; i < attempt && ms < backoff_cap_ms; ++i) {
+      ms <<= 1;
+    }
+    return static_cast<std::uint32_t>(ms < backoff_cap_ms ? ms
+                                                          : backoff_cap_ms);
+  }
+};
+
+/// What the campaign should do with a finished attempt.
+struct Decision {
+  enum class Action : std::uint8_t { Commit, Retry, Quarantine };
+  Action action = Action::Commit;
+  std::uint32_t attempt = 1;     ///< the attempt just finished (1-based)
+  std::uint32_t backoff_ms = 0;  ///< only for Retry
+};
+
+class RunLedger {
+ public:
+  explicit RunLedger(RetryPolicy policy) : policy_(policy) {}
+
+  /// Seeds prior failed-attempt counts (journal recovery).
+  void seed_attempts(const std::string& id, std::uint32_t attempts) {
+    attempts_[id] = attempts;
+  }
+
+  /// The attempt number the next execution of `id` would be (1-based).
+  [[nodiscard]] std::uint32_t next_attempt(const std::string& id) const {
+    const auto it = attempts_.find(id);
+    return (it == attempts_.end() ? 0 : it->second) + 1;
+  }
+
+  /// Classifies one finished attempt. `failure == None` commits; Config
+  /// quarantines immediately; retryable kinds retry until the budget is
+  /// spent, then quarantine. Updates the ledger.
+  [[nodiscard]] Decision on_outcome(const std::string& id,
+                                    FailureKind failure) {
+    Decision d;
+    d.attempt = next_attempt(id);
+    if (failure == FailureKind::None) {
+      d.action = Decision::Action::Commit;
+      return d;
+    }
+    attempts_[id] = d.attempt;
+    if (!is_retryable(failure) || d.attempt >= policy_.max_attempts) {
+      d.action = Decision::Action::Quarantine;
+      return d;
+    }
+    d.action = Decision::Action::Retry;
+    d.backoff_ms = policy_.backoff_ms(d.attempt + 1);
+    return d;
+  }
+
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  std::map<std::string, std::uint32_t> attempts_;
+};
+
+}  // namespace uvmsim::campaign

@@ -1,0 +1,198 @@
+#include "campaign/worker.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/report.h"
+#include "core/run_result.h"
+#include "core/simulator.h"
+
+namespace uvmsim::campaign {
+
+namespace {
+
+/// Keeps only the machine-readable "csv," lines of a CLI transcript — the
+/// part of the output that is a pure function of the request.
+std::string extract_csv(const std::string& transcript) {
+  std::istringstream is(transcript);
+  std::ostringstream os;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("csv,", 0) == 0) os << line << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string result_payload(const RunRequest& req,
+                           const std::string& csv_block) {
+  return "uvmsim-result v1\nrequest " + canonical_request(req) + "\n" +
+         csv_block;
+}
+
+RunOutcome InProcessWorker::run(const RunRequest& req,
+                                WorkerSabotage sabotage) const {
+  RunOutcome o;
+  // A thread can neither segfault safely nor be killed; injected sabotage
+  // is classified directly (the process-isolation worker makes it real).
+  if (sabotage == WorkerSabotage::Crash) {
+    o.failure = FailureKind::Crash;
+    o.detail = "injected";
+    return o;
+  }
+  if (sabotage == WorkerSabotage::Hang) {
+    o.failure = FailureKind::Timeout;
+    o.detail = "injected";
+    return o;
+  }
+  try {
+    const SimConfig cfg = request_sim_config(req);
+    auto wl = request_workload(req);
+    Simulator sim(cfg);
+    wl->setup(sim);
+    const RunResult r = sim.run();
+    std::string csv = run_summary_table(r).to_csv();
+    if (r.hazards_enabled) csv += hazard_report(r).to_csv();
+    o.result = result_payload(req, csv);
+  } catch (const ConfigError& e) {
+    o.failure = FailureKind::Config;
+    o.detail = e.what();
+  } catch (const SimulationError& e) {
+    o.failure = FailureKind::Simulation;
+    o.detail = e.what();
+  } catch (const std::exception& e) {
+    o.failure = FailureKind::Crash;
+    o.detail = e.what();
+  }
+  return o;
+}
+
+ProcessWorker::ProcessWorker(std::string cli_path, std::uint64_t timeout_ms)
+    : cli_path_(std::move(cli_path)), timeout_ms_(timeout_ms) {}
+
+RunOutcome ProcessWorker::run(const RunRequest& req,
+                              const std::string& scratch_dir,
+                              const std::string& attempt_tag,
+                              WorkerSabotage sabotage) const {
+  RunOutcome o;
+  std::vector<std::string> args = request_cli_args(req);
+  if (sabotage == WorkerSabotage::Crash) {
+    args.emplace_back("--hazard-self");
+    args.emplace_back("abort");
+  } else if (sabotage == WorkerSabotage::Hang) {
+    args.emplace_back("--hazard-self");
+    args.emplace_back("hang");
+  }
+
+  const std::string out_path = scratch_dir + "/" + attempt_tag + ".out";
+  const int out_fd =
+      ::open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (out_fd < 0) {
+    o.failure = FailureKind::Io;
+    o.detail = "cannot open scratch output: " +
+               std::string(std::strerror(errno));
+    return o;
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(cli_path_.c_str()));
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const ::pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(out_fd);
+    o.failure = FailureKind::Io;
+    o.detail = "fork failed: " + std::string(std::strerror(errno));
+    return o;
+  }
+  if (pid == 0) {
+    // Child: stdout -> capture file, stderr -> /dev/null (classification
+    // works off exit status; stderr text would be nondeterministic noise).
+    // Only async-signal-safe calls between fork and exec.
+    ::dup2(out_fd, STDOUT_FILENO);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) ::dup2(devnull, STDERR_FILENO);
+    ::execv(cli_path_.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ::close(out_fd);
+
+  // Wall-clock watchdog: poll-and-sleep, then SIGKILL. Poll counting (not
+  // a clock read) keeps the deadline deterministic enough for a fleet and
+  // the code free of wall-clock reads.
+  constexpr std::uint64_t kPollMs = 5;
+  int status = 0;
+  std::uint64_t waited_ms = 0;
+  for (;;) {
+    const ::pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0) {
+      o.failure = FailureKind::Io;
+      o.detail = "waitpid failed: " + std::string(std::strerror(errno));
+      return o;
+    }
+    if (timeout_ms_ != 0 && waited_ms >= timeout_ms_) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      o.failure = FailureKind::Timeout;
+      o.detail = "deadline " + std::to_string(timeout_ms_) + " ms";
+      return o;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+    waited_ms += kPollMs;
+  }
+
+  if (WIFSIGNALED(status)) {
+    o.failure = FailureKind::Crash;
+    o.detail = "signal=" + std::to_string(WTERMSIG(status));
+    return o;
+  }
+  const int exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  if (exit_code == 0) {
+    std::ifstream in(out_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string csv = extract_csv(buf.str());
+    if (csv.empty()) {
+      o.failure = FailureKind::Io;
+      o.detail = "child produced no csv output";
+      return o;
+    }
+    o.result = result_payload(req, csv);
+    return o;
+  }
+  switch (exit_code) {
+    case 2:
+      o.failure = FailureKind::Config;
+      break;
+    case 3:
+      o.failure = FailureKind::Simulation;
+      break;
+    case 127:
+      o.failure = FailureKind::Io;
+      o.detail = "cannot exec '" + cli_path_ + "'";
+      return o;
+    default:
+      o.failure = FailureKind::Crash;
+      break;
+  }
+  o.detail = "exit=" + std::to_string(exit_code);
+  return o;
+}
+
+}  // namespace uvmsim::campaign

@@ -1,0 +1,78 @@
+// Campaign workers: run one request attempt and classify what happened.
+//
+// Two isolation levels share one outcome type:
+//
+//  * InProcessWorker runs the Simulator on the calling (pool) thread —
+//    cheapest, but a genuine segfault would take the campaign down and a
+//    wedged run cannot be killed (the simulator's own simulated-time
+//    watchdogs are the only hang defense).
+//  * ProcessWorker fork/execs uvmsim_cli per attempt — a child segfault is
+//    a classified Crash result, and a wall-clock watchdog SIGKILLs a hung
+//    child into a classified Timeout. This is the mode a production fleet
+//    runs; the campaign dies only if the campaign itself is killed, which
+//    the journal handles.
+//
+// Both produce identical success payloads: the run's canonical csv summary
+// (core/report.h run_summary_table), prefixed with the canonical request —
+// which is what makes the result store byte-identical across isolation
+// modes and what the kill-and-resume determinism contract diffs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/request.h"
+#include "core/errors.h"
+#include "sim/hazards.h"
+
+namespace uvmsim::campaign {
+
+/// One finished attempt. `failure == None` means `result` holds the
+/// committed payload; otherwise `detail` classifies the failure
+/// ("exit=3", "signal=6", "deadline 500 ms", ...).
+struct RunOutcome {
+  FailureKind failure = FailureKind::None;
+  std::string result;
+  std::string detail;
+
+  [[nodiscard]] bool ok() const { return failure == FailureKind::None; }
+};
+
+/// Renders the stored result payload from its csv block.
+[[nodiscard]] std::string result_payload(const RunRequest& req,
+                                         const std::string& csv_block);
+
+class InProcessWorker {
+ public:
+  /// Runs one attempt inline. `sabotage` models an injected worker failure
+  /// (threads cannot crash or hang safely, so the attempt is classified
+  /// directly: Crash, or Timeout for Hang). Never throws for run failures.
+  [[nodiscard]] RunOutcome run(const RunRequest& req,
+                               WorkerSabotage sabotage) const;
+};
+
+class ProcessWorker {
+ public:
+  /// `cli_path` is the uvmsim_cli binary to exec; `timeout_ms` the
+  /// wall-clock watchdog deadline per attempt (0 = no deadline).
+  ProcessWorker(std::string cli_path, std::uint64_t timeout_ms);
+
+  /// Runs one attempt in a forked child, capturing stdout under
+  /// `scratch_dir`. `sabotage` forwards --hazard-self to the child so the
+  /// failure is real (an actual abort() / an actual hang hit by the real
+  /// watchdog). Never throws for run failures; environment-level problems
+  /// (cannot fork, cannot exec) classify as Io.
+  [[nodiscard]] RunOutcome run(const RunRequest& req,
+                               const std::string& scratch_dir,
+                               const std::string& attempt_tag,
+                               WorkerSabotage sabotage) const;
+
+  [[nodiscard]] const std::string& cli_path() const { return cli_path_; }
+
+ private:
+  std::string cli_path_;
+  std::uint64_t timeout_ms_;
+};
+
+}  // namespace uvmsim::campaign

@@ -1,0 +1,95 @@
+#include "core/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "core/errors.h"
+
+namespace uvmsim {
+
+namespace {
+
+std::atomic<AtomicWriteHook> g_hook{nullptr};
+
+// Distinct temp names per process and per call so concurrent writers to the
+// same target never clobber each other's staging file; the loser of the
+// final rename race simply commits second (both renames are atomic).
+std::atomic<std::uint64_t> g_tmp_counter{0};
+
+[[noreturn]] void io_fail(const std::string& op, const std::string& path) {
+  throw IoError(op + " failed for '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+AtomicWriteHook set_atomic_write_test_hook(AtomicWriteHook hook) {
+  return g_hook.exchange(hook);
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<unsigned long>(::getpid())) +
+      "." + std::to_string(g_tmp_counter.fetch_add(1));
+
+  // O_EXCL: the name is unique by construction; a collision means a stale
+  // temp from a crashed predecessor — fail loudly rather than reuse it.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) io_fail("open", tmp);
+
+  const char* p = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ::ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = saved;
+      io_fail("write", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // fsync before rename: otherwise the rename can become durable before the
+  // data, and a power cut would leave a committed name with torn contents.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    io_fail("fsync/close", tmp);
+  }
+
+  if (AtomicWriteHook hook = g_hook.load()) {
+    try {
+      hook(tmp);
+    } catch (...) {
+      ::unlink(tmp.c_str());
+      throw;
+    }
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    io_fail("rename", path);
+  }
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  std::ostringstream buf;
+  writer(buf);
+  if (!buf) throw IoError("atomic_write_file: writer left stream in bad state");
+  atomic_write_file(path, buf.str());
+}
+
+}  // namespace uvmsim

@@ -10,8 +10,17 @@
 //
 // ConfigError messages are structured: the offending parameter plus an
 // actionable description of the constraint it violated.
+//
+// On top of the exception types sits the fleet-level failure taxonomy
+// (FailureKind): the campaign runner and the sweep harness classify every
+// finished run into one of these kinds to decide between commit, bounded
+// retry, and quarantine. The taxonomy is deliberately coarse — it matches
+// what a fleet can actually observe about a worker (exit code, signal,
+// deadline), not what went wrong inside it.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -36,5 +45,65 @@ class SimulationError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// A filesystem / OS-level operation failed (atomic_write_file, journal
+/// append, result-store access). Distinct from SimulationError: nothing is
+/// wrong with the model, the environment misbehaved.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One or more sweep points failed inside bench::SweepRunner. The runner
+/// finishes every remaining point before throwing this, so a single poison
+/// point cannot hide the rest of the sweep's work.
+class SweepError : public SimulationError {
+ public:
+  SweepError(std::size_t index, std::size_t failed, std::size_t total,
+             const std::string& what)
+      : SimulationError(what), index_(index), failed_(failed), total_(total) {}
+
+  /// Index of the first failing sweep point.
+  [[nodiscard]] std::size_t index() const { return index_; }
+  /// How many of the points failed in total.
+  [[nodiscard]] std::size_t failed() const { return failed_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  std::size_t index_;
+  std::size_t failed_;
+  std::size_t total_;
+};
+
+/// Fleet-level classification of a finished run (campaign runner and sweep
+/// harness). `None` means success.
+enum class FailureKind : std::uint8_t {
+  None,        ///< run completed and produced a result
+  Config,      ///< invalid configuration — deterministic, never retried
+  Simulation,  ///< the model raised SimulationError (e.g. deadlock watchdog)
+  Crash,       ///< worker died (signal / abnormal exit / uncaught exception)
+  Timeout,     ///< worker exceeded its watchdog deadline and was killed
+  Io,          ///< environment-level I/O failure around the run
+};
+
+[[nodiscard]] constexpr const char* to_string(FailureKind k) {
+  switch (k) {
+    case FailureKind::None: return "ok";
+    case FailureKind::Config: return "config";
+    case FailureKind::Simulation: return "simulation";
+    case FailureKind::Crash: return "crash";
+    case FailureKind::Timeout: return "timeout";
+    case FailureKind::Io: return "io";
+  }
+  return "unknown";
+}
+
+/// Retry policy hook: configuration failures are deterministic (the same
+/// request will fail the same way forever), so retrying them only burns
+/// fleet time; everything else gets the bounded-retry treatment.
+[[nodiscard]] constexpr bool is_retryable(FailureKind k) {
+  return k == FailureKind::Simulation || k == FailureKind::Crash ||
+         k == FailureKind::Timeout || k == FailureKind::Io;
+}
 
 }  // namespace uvmsim

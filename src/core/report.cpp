@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/metrics.h"
 #include "core/run_result.h"
 
 namespace uvmsim {
@@ -77,6 +78,30 @@ std::string fmt(std::uint64_t v) { return std::to_string(v); }
 
 void shape_check(const std::string& claim, bool ok) {
   std::cout << (ok ? "[SHAPE PASS] " : "[SHAPE FAIL] ") << claim << '\n';
+}
+
+Table run_summary_table(const RunResult& r) {
+  Table summary({"metric", "value"});
+  summary.add_row({"kernel_time", format_duration(r.total_kernel_time())});
+  summary.add_row({"end_to_end", format_duration(r.end_time)});
+  summary.add_row(
+      {"kernels", fmt(static_cast<std::uint64_t>(r.kernels.size()))});
+  summary.add_row({"faults_fetched", fmt(r.counters.faults_fetched)});
+  summary.add_row({"faults_serviced", fmt(r.counters.faults_serviced)});
+  summary.add_row(
+      {"dup+stale", fmt(r.counters.duplicate_faults + r.counters.stale_faults)});
+  summary.add_row({"pages_migrated_h2d", fmt(r.counters.pages_migrated_h2d)});
+  summary.add_row({"pages_prefetched", fmt(r.counters.pages_prefetched)});
+  summary.add_row({"wasted_prefetch", fmt(r.wasted_prefetch_at_end)});
+  summary.add_row({"pages_zeroed", fmt(r.counters.pages_zeroed)});
+  summary.add_row({"evictions", fmt(r.counters.evictions)});
+  summary.add_row({"pages_evicted", fmt(r.counters.pages_evicted)});
+  summary.add_row({"replays", fmt(r.counters.replays_issued)});
+  summary.add_row({"driver_passes", fmt(r.counters.passes)});
+  summary.add_row({"bytes_h2d", format_bytes(r.bytes_h2d)});
+  summary.add_row({"bytes_d2h", format_bytes(r.bytes_d2h)});
+  summary.add_row({"thrash_pinned", fmt(r.counters.thrash_pinned_pages)});
+  return summary;
 }
 
 Table hazard_report(const RunResult& r) {

@@ -51,4 +51,10 @@ void shape_check(const std::string& claim, bool ok);
 /// meaningful when `r.hazards_enabled`.
 [[nodiscard]] Table hazard_report(const RunResult& r);
 
+/// The canonical per-run metric summary (the table uvmsim_cli prints).
+/// Shared between the CLI and the campaign runner so a result committed by
+/// an in-process campaign worker is byte-identical to one extracted from a
+/// forked uvmsim_cli child's --csv output.
+[[nodiscard]] Table run_summary_table(const RunResult& r);
+
 }  // namespace uvmsim

@@ -74,4 +74,70 @@ bool HazardInjector::access_counter_lost(SimTime now) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Campaign-level hazards
+// ---------------------------------------------------------------------------
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer (Steele et al.) — full-avalanche, stateless.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+
+/// Maps a mixed key to a uniform double in [0, 1).
+double keyed_uniform(std::uint64_t seed, std::uint64_t salt,
+                     std::uint64_t key) {
+  const std::uint64_t u = mix64(seed ^ mix64(salt ^ mix64(key)));
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kSaltSabotage = 0x5ab07a6eull;
+constexpr std::uint64_t kSaltJournal = 0x10c4a1ull;
+
+}  // namespace
+
+CampaignHazardInjector::CampaignHazardInjector(const CampaignHazardConfig& cfg)
+    : cfg_(cfg) {
+  check_rate("CampaignHazardConfig.worker_crash_rate", cfg_.worker_crash_rate);
+  check_rate("CampaignHazardConfig.worker_hang_rate", cfg_.worker_hang_rate);
+  check_rate("CampaignHazardConfig.journal_truncate_rate",
+             cfg_.journal_truncate_rate);
+  if (cfg_.worker_crash_rate + cfg_.worker_hang_rate >= 1.0) {
+    throw ConfigError(
+        "CampaignHazardConfig.worker_crash_rate",
+        "crash + hang rates must sum below 1 so an attempt can succeed "
+        "(use a request's sabotage field for an always-failing run)");
+  }
+}
+
+WorkerSabotage CampaignHazardInjector::worker_sabotage(
+    std::uint64_t request_hash, std::uint32_t attempt) const {
+  if (cfg_.worker_crash_rate <= 0.0 && cfg_.worker_hang_rate <= 0.0) {
+    return WorkerSabotage::None;
+  }
+  // One draw partitions into [crash | hang | none]: keyed by (hash, attempt)
+  // so a retry gets a fresh decision but a resumed campaign replays the
+  // same decision for the same attempt.
+  const double u = keyed_uniform(
+      cfg_.seed, kSaltSabotage,
+      request_hash ^ (static_cast<std::uint64_t>(attempt) << 48));
+  if (u < cfg_.worker_crash_rate) return WorkerSabotage::Crash;
+  if (u < cfg_.worker_crash_rate + cfg_.worker_hang_rate) {
+    return WorkerSabotage::Hang;
+  }
+  return WorkerSabotage::None;
+}
+
+bool CampaignHazardInjector::journal_truncation(
+    std::uint64_t payload_hash, std::uint64_t session_index) const {
+  if (cfg_.journal_truncate_rate <= 0.0) return false;
+  return keyed_uniform(cfg_.seed, kSaltJournal,
+                       payload_hash ^ mix64(session_index)) <
+         cfg_.journal_truncate_rate;
+}
+
 }  // namespace uvmsim

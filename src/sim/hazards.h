@@ -117,4 +117,76 @@ class HazardInjector {
   Rng ac_rng_{0};
 };
 
+// ---------------------------------------------------------------------------
+// Campaign-level hazards: failures of the *fleet*, not the simulated machine.
+// ---------------------------------------------------------------------------
+
+/// How a campaign worker is sabotaged for one attempt (None = run normally).
+enum class WorkerSabotage : std::uint8_t { None, Crash, Hang };
+
+[[nodiscard]] constexpr const char* to_string(WorkerSabotage s) {
+  switch (s) {
+    case WorkerSabotage::None: return "none";
+    case WorkerSabotage::Crash: return "crash";
+    case WorkerSabotage::Hang: return "hang";
+  }
+  return "unknown";
+}
+
+/// Injection rates for campaign-level failure modes. All rates are
+/// per-decision probabilities in [0, 1); 0 (the default) disables the class.
+struct CampaignHazardConfig {
+  std::uint64_t seed = 0;
+  /// Probability that one run attempt's worker crashes (process isolation:
+  /// the child abort()s; thread mode: the attempt is classified as a crash).
+  double worker_crash_rate = 0.0;
+  /// Probability that one run attempt's worker hangs until the watchdog
+  /// kills it (process isolation only; thread mode classifies immediately).
+  double worker_hang_rate = 0.0;
+  /// Probability that one checkpoint-journal record is torn mid-write
+  /// (models SIGKILL between write() and the record's newline); recovery
+  /// must skip the damaged line and rerun the affected request.
+  double journal_truncate_rate = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return worker_crash_rate != 0.0 || worker_hang_rate != 0.0 ||
+           journal_truncate_rate != 0.0;
+  }
+};
+
+/// Deterministic, *stateless* injector for campaign hazards. Unlike
+/// HazardInjector's sequential streams, every decision is keyed by stable
+/// identifiers (request hash, attempt number), so the decision for a given
+/// (request, attempt) is identical across resumes, worker counts, and
+/// scheduling orders — which is what keeps a killed-and-resumed campaign's
+/// result store byte-identical to an uninterrupted one even with hazards on.
+class CampaignHazardInjector {
+ public:
+  /// Validates rates (each in [0, 1); crash + hang < 1 so an attempt can
+  /// always succeed eventually unless deliberately poisoned). Throws
+  /// ConfigError on invalid rates.
+  explicit CampaignHazardInjector(const CampaignHazardConfig& cfg);
+
+  [[nodiscard]] bool enabled() const { return cfg_.any(); }
+  [[nodiscard]] const CampaignHazardConfig& config() const { return cfg_; }
+
+  /// Sabotage decision for attempt `attempt` (1-based) of the request with
+  /// content hash `request_hash`. Pure function of (seed, hash, attempt).
+  [[nodiscard]] WorkerSabotage worker_sabotage(std::uint64_t request_hash,
+                                               std::uint32_t attempt) const;
+
+  /// Whether to tear the journal record with payload hash `payload_hash`;
+  /// `session_index` counts records written by this process so a rerun of
+  /// the same record in a later session is not condemned to tearing again.
+  [[nodiscard]] bool journal_truncation(std::uint64_t payload_hash,
+                                        std::uint64_t session_index) const;
+
+ private:
+  CampaignHazardConfig cfg_;
+};
+
+/// splitmix64 finalizer: the stateless bit mixer behind the keyed campaign
+/// hazard decisions (and the request content hash's avalanche step).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
 }  // namespace uvmsim

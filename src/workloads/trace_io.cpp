@@ -5,13 +5,29 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/errors.h"
+
 namespace uvmsim {
 
 namespace {
 
-[[noreturn]] void parse_fail(std::size_t line_no, const std::string& why) {
-  throw std::runtime_error("trace parse error at line " +
-                           std::to_string(line_no) + ": " + why);
+[[noreturn]] void parse_fail(std::size_t line_no, std::uint64_t offset,
+                             const std::string& why) {
+  throw ConfigError("trace line " + std::to_string(line_no),
+                    why + " (byte offset " + std::to_string(offset) + ")");
+}
+
+/// Rejects binary garbage early: a valid trace line is printable ASCII
+/// (plus tab). An embedded NUL or control byte means the caller handed us
+/// something that is not a trace — a truncated download, an object file, a
+/// gzip — and byte offsets beat stoi exceptions for diagnosing that.
+bool has_binary_data(const std::string& line) {
+  for (const char c : line) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x20 && c != '\t') return true;
+    if (u == 0x7f) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -38,61 +54,114 @@ void write_trace(std::ostream& os, const TraceData& trace) {
   if (!os) throw std::runtime_error("trace write failed");
 }
 
-TraceData parse_trace(std::istream& is) {
+TraceData parse_trace(std::istream& is, const TraceLimits& limits) {
   TraceData trace;
+  std::uint64_t total_bytes = 0;
   std::string line;
   std::size_t line_no = 0;
+  std::uint64_t offset = 0;       // byte offset of the current line's start
+  std::uint64_t next_offset = 0;
   bool header_seen = false;
 
   while (std::getline(is, line)) {
     ++line_no;
+    offset = next_offset;
+    next_offset += line.size() + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+    if (line.size() > limits.max_line_bytes) {
+      parse_fail(line_no, offset,
+                 "line exceeds " + std::to_string(limits.max_line_bytes) +
+                     " bytes (truncated or corrupt trace?)");
+    }
+    if (has_binary_data(line)) {
+      parse_fail(line_no, offset, "binary data in trace");
+    }
     if (line.empty() || line[0] == '#') continue;
     std::istringstream ls(line);
     std::string tok;
     ls >> tok;
 
     if (!header_seen) {
-      if (tok != "uvmsim-trace") parse_fail(line_no, "missing header");
+      if (tok != "uvmsim-trace") parse_fail(line_no, offset, "missing header");
       std::string version;
       ls >> version;
-      if (version != "v1") parse_fail(line_no, "unsupported version");
+      if (version != "v1") parse_fail(line_no, offset, "unsupported version");
       header_seen = true;
       continue;
     }
 
     if (tok == "range") {
+      if (trace.ranges.size() >= limits.max_ranges) {
+        parse_fail(line_no, offset,
+                   "more than " + std::to_string(limits.max_ranges) +
+                       " ranges");
+      }
       TraceData::Range r;
       int populated = 1;
       if (!(ls >> r.name >> r.bytes >> populated)) {
-        parse_fail(line_no, "bad range declaration");
+        parse_fail(line_no, offset, "bad range declaration");
       }
-      if (r.bytes == 0) parse_fail(line_no, "zero-byte range");
+      if (r.bytes == 0) parse_fail(line_no, offset, "zero-byte range");
+      total_bytes += r.bytes;
+      if (r.bytes > limits.max_total_bytes ||
+          total_bytes > limits.max_total_bytes) {
+        parse_fail(line_no, offset,
+                   "trace declares more than " +
+                       std::to_string(limits.max_total_bytes) +
+                       " managed bytes");
+      }
       r.host_populated = populated != 0;
       trace.ranges.push_back(std::move(r));
     } else if (tok == "kernel") {
+      if (trace.kernels.size() >= limits.max_kernels) {
+        parse_fail(line_no, offset,
+                   "more than " + std::to_string(limits.max_kernels) +
+                       " kernels");
+      }
       TraceData::Kernel k;
       if (!(ls >> k.name >> k.work_units)) {
-        parse_fail(line_no, "bad kernel declaration");
+        parse_fail(line_no, offset, "bad kernel declaration");
       }
       trace.kernels.push_back(std::move(k));
     } else if (tok == "warp") {
-      if (trace.kernels.empty()) parse_fail(line_no, "warp before kernel");
+      if (trace.kernels.empty()) {
+        parse_fail(line_no, offset, "warp before kernel");
+      }
+      if (trace.kernels.back().warps.size() >= limits.max_warps_per_kernel) {
+        parse_fail(line_no, offset,
+                   "more than " +
+                       std::to_string(limits.max_warps_per_kernel) +
+                       " warps in one kernel");
+      }
       trace.kernels.back().warps.emplace_back();
     } else if (tok == "a") {
       if (trace.kernels.empty() || trace.kernels.back().warps.empty()) {
-        parse_fail(line_no, "access before warp");
+        parse_fail(line_no, offset, "access before warp");
+      }
+      auto& warp = trace.kernels.back().warps.back();
+      if (warp.size() >= limits.max_accesses_per_warp) {
+        parse_fail(line_no, offset,
+                   "more than " +
+                       std::to_string(limits.max_accesses_per_warp) +
+                       " accesses in one warp");
       }
       TraceData::Access a;
       int write = 0;
       if (!(ls >> write >> a.compute_ns)) {
-        parse_fail(line_no, "bad access header");
+        parse_fail(line_no, offset, "bad access header");
       }
       a.write = write != 0;
       std::string ref;
       while (ls >> ref) {
+        if (a.pages.size() >= limits.max_pages_per_access) {
+          parse_fail(line_no, offset,
+                     "more than " +
+                         std::to_string(limits.max_pages_per_access) +
+                         " pages in one access");
+        }
         auto colon = ref.find(':');
         if (colon == std::string::npos) {
-          parse_fail(line_no, "bad page ref: " + ref);
+          parse_fail(line_no, offset, "bad page ref: " + ref);
         }
         std::uint32_t range_idx = 0;
         std::uint64_t page = 0;
@@ -101,25 +170,31 @@ TraceData parse_trace(std::istream& is) {
               static_cast<std::uint32_t>(std::stoul(ref.substr(0, colon)));
           page = std::stoull(ref.substr(colon + 1));
         } catch (const std::exception&) {
-          parse_fail(line_no, "bad page ref: " + ref);
+          parse_fail(line_no, offset, "bad page ref: " + ref);
         }
         if (range_idx >= trace.ranges.size()) {
-          parse_fail(line_no, "range index out of bounds");
+          parse_fail(line_no, offset, "range index out of bounds");
         }
         std::uint64_t range_pages =
             (trace.ranges[range_idx].bytes + kPageSize - 1) / kPageSize;
         if (page >= range_pages) {
-          parse_fail(line_no, "page offset past end of range");
+          parse_fail(line_no, offset, "page offset past end of range");
         }
         a.pages.emplace_back(range_idx, page);
       }
-      if (a.pages.empty()) parse_fail(line_no, "access with no pages");
-      trace.kernels.back().warps.back().push_back(std::move(a));
+      if (a.pages.empty()) parse_fail(line_no, offset, "access with no pages");
+      warp.push_back(std::move(a));
     } else {
-      parse_fail(line_no, "unknown directive: " + tok);
+      parse_fail(line_no, offset, "unknown directive: " + tok);
     }
   }
-  if (!header_seen) throw std::runtime_error("trace parse error: empty input");
+  if (is.bad()) {
+    throw IoError("trace read failed at byte offset " +
+                  std::to_string(next_offset));
+  }
+  if (!header_seen) {
+    throw ConfigError("trace", "empty input (no uvmsim-trace header)");
+  }
   return trace;
 }
 
@@ -169,7 +244,7 @@ TraceData capture_trace(Workload& workload, const SimConfig& cfg) {
 TraceWorkload::TraceWorkload(TraceData trace, std::string name)
     : trace_(std::move(trace)), name_(std::move(name)) {
   if (trace_.ranges.empty()) {
-    throw std::invalid_argument("TraceWorkload: trace has no ranges");
+    throw ConfigError("TraceWorkload", "trace has no ranges");
   }
 }
 

@@ -19,6 +19,7 @@
 // "kernel". Warps are grouped into 8-warp thread blocks on replay.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -28,6 +29,20 @@
 #include "workloads/workload.h"
 
 namespace uvmsim {
+
+/// Caps on what a parsed trace may declare. Traces come from outside the
+/// process (files on disk, possibly truncated or corrupt), so the parser
+/// bounds every dimension before allocating for it; a trace past a cap is
+/// rejected with a ConfigError naming the cap, never silently clamped.
+struct TraceLimits {
+  std::size_t max_line_bytes = 1u << 20;        ///< longest accepted line
+  std::size_t max_ranges = 4096;
+  std::size_t max_kernels = 65536;
+  std::size_t max_warps_per_kernel = 1u << 20;
+  std::size_t max_accesses_per_warp = 1u << 20;
+  std::size_t max_pages_per_access = 4096;
+  std::uint64_t max_total_bytes = 1ull << 40;   ///< sum of range sizes (1 TiB)
+};
 
 struct TraceData {
   struct Range {
@@ -60,9 +75,12 @@ struct TraceData {
 /// Serializes a trace. Throws on stream failure.
 void write_trace(std::ostream& os, const TraceData& trace);
 
-/// Parses a trace. Throws std::runtime_error with a line number on malformed
-/// input.
-[[nodiscard]] TraceData parse_trace(std::istream& is);
+/// Parses a trace. Malformed input — truncated structures, binary garbage,
+/// out-of-bounds references, anything past a TraceLimits cap — raises
+/// ConfigError carrying the line number and byte offset of the offending
+/// line; a stream-level read failure raises IoError.
+[[nodiscard]] TraceData parse_trace(std::istream& is,
+                                    const TraceLimits& limits = {});
 
 /// Captures a workload's trace by setting it up on a scratch simulator
 /// (using `cfg` for any config-dependent generation) and converting its

@@ -1,0 +1,124 @@
+// atomic_write_file: whole-file replacement survives a crash in the
+// write->rename commit window.
+#include "core/atomic_file.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/errors.h"
+
+namespace uvmsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("uvmsim_atomic_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    set_atomic_write_test_hook(nullptr);
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, WritesNewFile) {
+  const fs::path target = dir_ / "out.txt";
+  atomic_write_file(target.string(), "hello\n");
+  EXPECT_EQ(slurp(target), "hello\n");
+}
+
+TEST_F(AtomicFileTest, ReplacesExistingFileCompletely) {
+  const fs::path target = dir_ / "out.txt";
+  atomic_write_file(target.string(), std::string(4096, 'x'));
+  atomic_write_file(target.string(), "short");
+  EXPECT_EQ(slurp(target), "short");
+}
+
+TEST_F(AtomicFileTest, StreamingOverloadMatchesStringOverload) {
+  const fs::path a = dir_ / "a.txt";
+  const fs::path b = dir_ / "b.txt";
+  atomic_write_file(a.string(), "line1\nline2\n");
+  atomic_write_file(b.string(),
+                    [](std::ostream& os) { os << "line1\n" << "line2\n"; });
+  EXPECT_EQ(slurp(a), slurp(b));
+}
+
+TEST_F(AtomicFileTest, LeavesNoTempFilesBehind) {
+  const fs::path target = dir_ / "out.txt";
+  atomic_write_file(target.string(), "a");
+  atomic_write_file(target.string(), "b");
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+// Communicates with the stateless hook (a plain function pointer).
+std::string g_observed_tmp;  // NOLINT: test-only
+
+void crashing_hook(const std::string& tmp_path) {
+  g_observed_tmp = tmp_path;
+  throw std::runtime_error("injected crash before rename");
+}
+
+TEST_F(AtomicFileTest, CrashBetweenWriteAndRenameLeavesTargetUntouched) {
+  const fs::path target = dir_ / "out.txt";
+  atomic_write_file(target.string(), "old contents");
+
+  g_observed_tmp.clear();
+  set_atomic_write_test_hook(&crashing_hook);
+  EXPECT_THROW(atomic_write_file(target.string(), "new contents"),
+               std::runtime_error);
+  set_atomic_write_test_hook(nullptr);
+
+  // The target still holds the complete old contents and the temp file —
+  // whose durable bytes the hook saw — has been cleaned up.
+  EXPECT_EQ(slurp(target), "old contents");
+  ASSERT_FALSE(g_observed_tmp.empty());
+  EXPECT_FALSE(fs::exists(g_observed_tmp));
+}
+
+TEST_F(AtomicFileTest, CrashOnFirstWriteLeavesNoTarget) {
+  const fs::path target = dir_ / "never.txt";
+  set_atomic_write_test_hook(&crashing_hook);
+  EXPECT_THROW(atomic_write_file(target.string(), "contents"),
+               std::runtime_error);
+  set_atomic_write_test_hook(nullptr);
+  EXPECT_FALSE(fs::exists(target));
+}
+
+TEST_F(AtomicFileTest, HookInstallReturnsPrevious) {
+  AtomicWriteHook prev = set_atomic_write_test_hook(&crashing_hook);
+  EXPECT_EQ(prev, nullptr);
+  prev = set_atomic_write_test_hook(nullptr);
+  EXPECT_EQ(prev, &crashing_hook);
+}
+
+TEST_F(AtomicFileTest, MissingDirectoryRaisesIoError) {
+  const fs::path target = dir_ / "no" / "such" / "dir" / "out.txt";
+  EXPECT_THROW(atomic_write_file(target.string(), "x"), IoError);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -117,6 +117,61 @@ TEST(SweepRunner, JobExceptionPropagates) {
                std::runtime_error);
 }
 
+TEST(SweepRunner, FailingPointDoesNotStopTheSweep) {
+  SweepRunner runner(3);
+  std::atomic<int> calls{0};
+  try {
+    (void)runner.map(8, [&calls](std::size_t i) -> int {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      if (i == 1) throw std::runtime_error("boom");
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    EXPECT_EQ(calls.load(), 8);  // every point still ran
+    EXPECT_EQ(e.index(), 1u);
+    EXPECT_EQ(e.failed(), 1u);
+    EXPECT_EQ(e.total(), 8u);
+    EXPECT_NE(std::string(e.what()).find("all remaining points completed"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepRunner, SweepErrorNamesThePointParameters) {
+  SweepRunner runner(2);
+  std::vector<double> points = {0.5, 0.75, 1.25};
+  try {
+    (void)runner.sweep(points, [](const double& p) -> double {
+      if (p == 0.75) throw std::runtime_error("bad oversubscription");
+      return p;
+    });
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    EXPECT_EQ(e.index(), 1u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[0.75]"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad oversubscription"), std::string::npos) << what;
+  }
+}
+
+TEST(SweepRunner, SweepErrorAggregatesMultipleFailures) {
+  SweepRunner runner(4);
+  try {
+    (void)runner.map(10, [](std::size_t i) -> int {
+      if (i % 2 == 1) throw std::runtime_error("odd point");
+      return static_cast<int>(i);
+    });
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    EXPECT_EQ(e.index(), 1u);  // first failing point
+    EXPECT_EQ(e.failed(), 5u);
+    EXPECT_NE(std::string(e.what()).find("and 4 more of 10 points failed"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SweepRunner, AllPointsRunExactlyOnce) {
   SweepRunner runner(4);
   std::atomic<int> calls{0};

@@ -5,6 +5,7 @@
 
 #include <sstream>
 
+#include "core/errors.h"
 #include "core/simulator.h"
 #include "workloads/registry.h"
 
@@ -58,9 +59,11 @@ TEST(TraceIo, WriteParseRoundTrip) {
 }
 
 TEST(TraceIo, ParseRejectsMalformedInput) {
+  // Every rejection is a structured ConfigError (exit code 2 from the CLI,
+  // never-retried Config classification in the campaign).
   auto expect_fail = [](const std::string& text) {
     std::stringstream ss(text);
-    EXPECT_THROW(parse_trace(ss), std::runtime_error) << text;
+    EXPECT_THROW(parse_trace(ss), ConfigError) << text;
   };
   expect_fail("");                                     // empty
   expect_fail("bogus v1\n");                           // bad header
@@ -68,13 +71,92 @@ TEST(TraceIo, ParseRejectsMalformedInput) {
   expect_fail("uvmsim-trace v1\nwarp\n");              // warp before kernel
   expect_fail("uvmsim-trace v1\nkernel k 0\na 0 0 0:0\n");  // access before warp
   expect_fail("uvmsim-trace v1\nrange a 0 1\n");       // zero-byte range
+  expect_fail("uvmsim-trace v1\nrange a\n");           // truncated range line
+  expect_fail("uvmsim-trace v1\nrange a 4096 1\nkernel k\n");  // truncated kernel
+  expect_fail(
+      "uvmsim-trace v1\nrange a 4096 1\nkernel k 0\nwarp\na 0\n");  // truncated access
   expect_fail(
       "uvmsim-trace v1\nrange a 4096 1\nkernel k 0\nwarp\na 0 0 5:0\n");  // bad range idx
   expect_fail(
       "uvmsim-trace v1\nrange a 4096 1\nkernel k 0\nwarp\na 0 0 0:9\n");  // page past end
   expect_fail(
+      "uvmsim-trace v1\nrange a 4096 1\nkernel k 0\nwarp\na 0 0 0x0\n");  // no colon
+  expect_fail(
+      "uvmsim-trace v1\nrange a 4096 1\nkernel k 0\nwarp\na 0 0 q:z\n");  // non-numeric ref
+  expect_fail(
       "uvmsim-trace v1\nrange a 4096 1\nkernel k 0\nwarp\na 0 0\n");  // no pages
   expect_fail("uvmsim-trace v1\nfrobnicate\n");        // unknown directive
+  expect_fail(std::string("uvmsim-trace v1\nrange a 4096 1\x00\n", 32));  // NUL
+  expect_fail("uvmsim-trace v1\nrange \x01garbage\x02 4096 1\n");  // control bytes
+}
+
+TEST(TraceIo, ParseErrorsCarryLineAndByteOffset) {
+  // "uvmsim-trace v1\n" is 16 bytes; the bad line starts at offset 16.
+  std::stringstream ss("uvmsim-trace v1\nfrobnicate\n");
+  try {
+    (void)parse_trace(ss);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.param(), "trace line 2");
+    EXPECT_NE(std::string(e.what()).find("byte offset 16"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, ParseEnforcesLimits) {
+  auto expect_limit = [](const std::string& text, const TraceLimits& limits,
+                         const std::string& needle) {
+    std::stringstream ss(text);
+    try {
+      (void)parse_trace(ss, limits);
+      FAIL() << "expected ConfigError for: " << needle;
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  TraceLimits tiny;
+  tiny.max_ranges = 1;
+  expect_limit("uvmsim-trace v1\nrange a 4096 1\nrange b 4096 1\n", tiny,
+               "more than 1 ranges");
+  tiny = TraceLimits{};
+  tiny.max_kernels = 1;
+  expect_limit("uvmsim-trace v1\nrange a 4096 1\nkernel k 0\nkernel j 0\n",
+               tiny, "more than 1 kernels");
+  tiny = TraceLimits{};
+  tiny.max_warps_per_kernel = 1;
+  expect_limit("uvmsim-trace v1\nrange a 4096 1\nkernel k 0\nwarp\nwarp\n",
+               tiny, "warps in one kernel");
+  tiny = TraceLimits{};
+  tiny.max_accesses_per_warp = 1;
+  expect_limit(
+      "uvmsim-trace v1\nrange a 4096 1\nkernel k 0\nwarp\n"
+      "a 0 0 0:0\na 0 0 0:0\n",
+      tiny, "accesses in one warp");
+  tiny = TraceLimits{};
+  tiny.max_pages_per_access = 1;
+  expect_limit(
+      "uvmsim-trace v1\nrange a 65536 1\nkernel k 0\nwarp\na 0 0 0:0 0:1\n",
+      tiny, "pages in one access");
+  tiny = TraceLimits{};
+  tiny.max_total_bytes = 8192;
+  expect_limit("uvmsim-trace v1\nrange a 4096 1\nrange b 8192 1\n", tiny,
+               "managed bytes");
+  tiny = TraceLimits{};
+  tiny.max_line_bytes = 8;
+  expect_limit("uvmsim-trace v1\n", tiny, "exceeds 8 bytes");
+}
+
+TEST(TraceIo, ParseToleratesCrlfLineEndings) {
+  std::stringstream ss(
+      "uvmsim-trace v1\r\n"
+      "range a 4096 1\r\n"
+      "kernel k 1\r\n"
+      "warp\r\n"
+      "a 1 100 0:0\r\n");
+  TraceData t = parse_trace(ss);
+  EXPECT_EQ(t.ranges.size(), 1u);
+  EXPECT_EQ(t.kernels[0].warps[0].size(), 1u);
 }
 
 TEST(TraceIo, ParseSkipsCommentsAndBlanks) {

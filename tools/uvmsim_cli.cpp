@@ -5,14 +5,19 @@
 //   uvmsim_cli --workload sgemm --size-mib 96 --gpu-mib 128
 //   uvmsim_cli --workload random --size-mib 192 --prefetch off --pattern
 //   uvmsim_cli --help
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/atomic_file.h"
 #include "core/errors.h"
 #include "core/metrics.h"
 #include "core/pattern_analyzer.h"
@@ -56,6 +61,7 @@ struct CliOptions {
   std::string trace_out;     // driver-pass trace (Chrome trace_event JSON)
   std::string trace_categories = "all";
   std::uint64_t trace_cap = TraceConfig{}.capacity;
+  std::string hazard_self;  // "" | abort | hang — self-sabotage test hook
 };
 
 void print_help() {
@@ -89,6 +95,8 @@ hazard injection (all rates in [0,1), default 0 = no injection):
   --hazard-ac-drop-rate R    probability an access-counter notification is
                              lost
   --hazard-seed N            hazard stream seed (default: derived from --seed)
+  --hazard-self MODE         abort | hang — sabotage this process before the
+                             run (campaign fault-injection test hook)
 
 driver-pass tracing (viewable in Perfetto / chrome://tracing):
   --trace-out FILE     record per-pass driver spans and write Chrome
@@ -185,6 +193,13 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (a == "--hazard-ac-drop-rate") {
       if (!(v = need_value(i))) return std::nullopt;
       o.hazard_ac = std::stod(v);
+    } else if (a == "--hazard-self") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.hazard_self = v;
+      if (o.hazard_self != "abort" && o.hazard_self != "hang") {
+        std::cerr << "bad --hazard-self: " << v << " (abort | hang)\n";
+        return std::nullopt;
+      }
     } else if (a == "--dump-trace") {
       if (!(v = need_value(i))) return std::nullopt;
       o.dump_trace = v;
@@ -317,32 +332,36 @@ int run_cli(int argc, char** argv) {
   auto cfg = to_config(*opts);
   if (!cfg) return 1;
 
+  // Self-sabotage test hook: campaign fault-injection tests exec this
+  // binary with --hazard-self so a worker crash / hang is *real* (an
+  // actual SIGABRT, an actual watchdog kill), not a simulated one.
+  if (opts->hazard_self == "abort") {
+    std::abort();
+  } else if (opts->hazard_self == "hang") {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+
+  // ConfigError / SimulationError from trace parsing or workload lookup
+  // propagate to main for the distinct exit codes; only plain open/write
+  // failures are handled here as usage errors.
   std::unique_ptr<Workload> wl;
-  try {
-    if (!opts->replay_trace.empty()) {
-      std::ifstream in(opts->replay_trace);
-      if (!in) {
-        std::cerr << "cannot open trace: " << opts->replay_trace << "\n";
-        return 1;
-      }
-      wl = std::make_unique<TraceWorkload>(parse_trace(in),
-                                           opts->replay_trace);
-    } else {
-      wl = make_workload(opts->workload, opts->size_mib << 20);
+  if (!opts->replay_trace.empty()) {
+    std::ifstream in(opts->replay_trace);
+    if (!in) {
+      std::cerr << "cannot open trace: " << opts->replay_trace << "\n";
+      return 1;
     }
-    if (!opts->dump_trace.empty()) {
-      std::ofstream out(opts->dump_trace);
-      if (!out) {
-        std::cerr << "cannot write trace: " << opts->dump_trace << "\n";
-        return 1;
-      }
-      write_trace(out, capture_trace(*wl, *cfg));
-      std::cout << "trace written to " << opts->dump_trace << "\n";
-      return 0;
-    }
-  } catch (const std::exception& e) {
-    std::cerr << e.what() << "\n";
-    return 1;
+    wl = std::make_unique<TraceWorkload>(parse_trace(in),
+                                         opts->replay_trace);
+  } else {
+    wl = make_workload(opts->workload, opts->size_mib << 20);
+  }
+  if (!opts->dump_trace.empty()) {
+    std::ostringstream out;
+    write_trace(out, capture_trace(*wl, *cfg));
+    atomic_write_file(opts->dump_trace, out.str());
+    std::cout << "trace written to " << opts->dump_trace << "\n";
+    return 0;
   }
 
   Simulator sim(*cfg);
@@ -354,25 +373,9 @@ int run_cli(int argc, char** argv) {
             << format_bytes(cfg->gpu_memory()) << " GPU ("
             << fmt(100.0 * r.oversubscription(), 4) << " %)\n";
 
-  Table summary({"metric", "value"});
-  summary.add_row({"kernel_time", format_duration(r.total_kernel_time())});
-  summary.add_row({"end_to_end", format_duration(r.end_time)});
-  summary.add_row({"kernels", fmt(static_cast<std::uint64_t>(r.kernels.size()))});
-  summary.add_row({"faults_fetched", fmt(r.counters.faults_fetched)});
-  summary.add_row({"faults_serviced", fmt(r.counters.faults_serviced)});
-  summary.add_row({"dup+stale", fmt(r.counters.duplicate_faults +
-                                    r.counters.stale_faults)});
-  summary.add_row({"pages_migrated_h2d", fmt(r.counters.pages_migrated_h2d)});
-  summary.add_row({"pages_prefetched", fmt(r.counters.pages_prefetched)});
-  summary.add_row({"wasted_prefetch", fmt(r.wasted_prefetch_at_end)});
-  summary.add_row({"pages_zeroed", fmt(r.counters.pages_zeroed)});
-  summary.add_row({"evictions", fmt(r.counters.evictions)});
-  summary.add_row({"pages_evicted", fmt(r.counters.pages_evicted)});
-  summary.add_row({"replays", fmt(r.counters.replays_issued)});
-  summary.add_row({"driver_passes", fmt(r.counters.passes)});
-  summary.add_row({"bytes_h2d", format_bytes(r.bytes_h2d)});
-  summary.add_row({"bytes_d2h", format_bytes(r.bytes_d2h)});
-  summary.add_row({"thrash_pinned", fmt(r.counters.thrash_pinned_pages)});
+  // The summary table is shared with the campaign's in-process worker so
+  // both isolation modes commit byte-identical result payloads.
+  Table summary = run_summary_table(r);
   if (opts->csv) {
     std::cout << summary.to_csv();
   }
@@ -431,12 +434,8 @@ int run_cli(int argc, char** argv) {
 
   if (!opts->trace_out.empty() && sim.tracer() != nullptr) {
     const Tracer& tr = *sim.tracer();
-    std::ofstream out(opts->trace_out);
-    if (!out) {
-      std::cerr << "cannot write trace: " << opts->trace_out << "\n";
-      return 1;
-    }
-    write_chrome_trace(out, tr);
+    atomic_write_file(opts->trace_out,
+                      [&tr](std::ostream& out) { write_chrome_trace(out, tr); });
     std::cout << "\ndriver trace: " << tr.recorded() << " events recorded, "
               << tr.dropped() << " overwritten -> " << opts->trace_out
               << "\n\n"
