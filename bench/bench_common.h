@@ -7,9 +7,7 @@
 // or set UVMSIM_FAST=1 to shrink sweeps for smoke runs.
 #pragma once
 
-#include <cerrno>
 #include <cstdint>
-#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -17,28 +15,15 @@
 #include <vector>
 
 #include "core/atomic_file.h"
+#include "core/env.h"
 #include "core/simulator.h"
 #include "workloads/registry.h"
 
 namespace uvmsim::bench {
 
-inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return def;
-  // strtoull silently maps garbage to 0 and negative input to a huge
-  // wrapped value; both would turn e.g. UVMSIM_GPU_MIB=abc into a 0-byte
-  // GPU. Validate the whole string and fall back loudly instead.
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(v, &end, 10);
-  if (end == v || *end != '\0' || errno == ERANGE || v[0] == '-') {
-    std::cerr << "uvmsim: ignoring invalid " << name << "=\"" << v
-              << "\" (want a non-negative integer); using default " << def
-              << "\n";
-    return def;
-  }
-  return static_cast<std::uint64_t>(n);
-}
+// Shared validated parser (core/env.h) — one warning/clamping behaviour for
+// benches and the campaign executor alike.
+using uvmsim::env_u64;
 
 inline bool fast_mode() { return env_u64("UVMSIM_FAST", 0) != 0; }
 

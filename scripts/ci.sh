@@ -91,6 +91,24 @@ fi
 echo "shape gate: fig01 + fig09 all green"
 rm -rf "$SHAPE_TMP"
 
+echo "== backend-crossover shape gate (driver vs GPU-driven servicing) =="
+# The ServicingBackend seam must show both sides of the trade: batching
+# wins dense sequential access, per-fault GPU-side resolution wins sparse
+# oversubscribed access.
+XOVER_TMP=$(mktemp /tmp/uvmsim-xover.XXXXXX)
+UVMSIM_FAST=1 ./build/bench/fig_backend_crossover > "$XOVER_TMP"
+grep -q '^\[SHAPE PASS\] dense sequential access favors the batching driver' \
+  "$XOVER_TMP" \
+  || { echo "shape gate FAILED: crossover dense claim"; cat "$XOVER_TMP"; exit 1; }
+grep -q '^\[SHAPE PASS\] sparse oversubscribed access favors GPU-driven paging' \
+  "$XOVER_TMP" \
+  || { echo "shape gate FAILED: crossover sparse claim"; cat "$XOVER_TMP"; exit 1; }
+if grep '^\[SHAPE FAIL\]' "$XOVER_TMP"; then
+  echo "shape gate FAILED: unexpected [SHAPE FAIL] above"; exit 1
+fi
+echo "backend-crossover gate: green"
+rm -f "$XOVER_TMP"
+
 echo "== perf smoke (fast mode) =="
 BENCH_OUT=${BENCH_OUT:-BENCH_pr5.json}
 UVMSIM_FAST=1 BENCH_OUT="$BENCH_OUT" scripts/perf_smoke.sh build

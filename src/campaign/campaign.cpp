@@ -163,9 +163,12 @@ CampaignReport Campaign::run() {
           if (out.ok()) {
             o = std::move(*out.value);
           } else {
-            // The worker itself threw (environment problem): classify as
-            // Io so it is retried, not quarantined as a model failure.
-            o.failure = FailureKind::Io;
+            // The worker itself threw: the executor classified the escaped
+            // exception (Config / Simulation / Io / Crash), so retry and
+            // quarantine policy sees the real failure class instead of a
+            // blanket "environment problem".
+            o.failure = out.kind == FailureKind::None ? FailureKind::Crash
+                                                      : out.kind;
             o.detail = out.error;
           }
           ++report.executed;

@@ -1,21 +1,17 @@
 #include "campaign/executor.h"
 
-#include <cstdlib>
-#include <iostream>
+#include <algorithm>
+#include <cstdint>
 #include <thread>
+
+#include "core/env.h"
 
 namespace uvmsim::campaign {
 
 std::size_t default_workers() {
-  const char* v = std::getenv("UVMSIM_THREADS");
-  if (v == nullptr || *v == '\0') return 1;
-  char* end = nullptr;
-  const unsigned long n = std::strtoul(v, &end, 10);
-  if (end == v || *end != '\0' || v[0] == '-') {
-    std::cerr << "uvmsim: ignoring invalid UVMSIM_THREADS=\"" << v
-              << "\" (want a non-negative integer); running serial\n";
-    return 1;
-  }
+  // Shared validated parser: malformed values warn once on stderr and fall
+  // back to the default (1 = serial), exactly like the bench-side knobs.
+  const std::uint64_t n = env_u64("UVMSIM_THREADS", 1);
   if (n == 0) {
     return std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/errors.h"
 #include "sim/thread_pool.h"
 
 namespace uvmsim::campaign {
@@ -34,11 +35,16 @@ namespace uvmsim::campaign {
 /// hardware thread). Invalid values warn on stderr and fall back to serial.
 [[nodiscard]] std::size_t default_workers();
 
-/// Outcome of one task: either a value or the captured exception's message.
+/// Outcome of one task: either a value, or the captured exception's message
+/// plus its fleet-level classification. The kind is what retry/quarantine
+/// policy keys on — a blind catch that collapsed every escaped exception
+/// into an unclassified string used to make ConfigError (never retryable)
+/// indistinguishable from a transient IoError (always retryable).
 template <typename R>
 struct TaskOutcome {
   std::optional<R> value;
-  std::string error;  ///< empty iff value is set
+  std::string error;                        ///< empty iff value is set
+  FailureKind kind = FailureKind::None;     ///< None iff value is set
 
   [[nodiscard]] bool ok() const { return value.has_value(); }
 };
@@ -95,12 +101,26 @@ class TaskExecutor {
     TaskOutcome<R> o;
     try {
       o.value.emplace(job(i));
-    } catch (const std::exception& e) {
+      return o;
+    } catch (const ConfigError& e) {
+      o.kind = FailureKind::Config;
       o.error = e.what();
-      if (o.error.empty()) o.error = "(exception with empty message)";
+    } catch (const SimulationError& e) {
+      o.kind = FailureKind::Simulation;
+      o.error = e.what();
+    } catch (const IoError& e) {
+      o.kind = FailureKind::Io;
+      o.error = e.what();
+    } catch (const std::exception& e) {
+      // An exception outside the structured taxonomy is a worker bug, which
+      // is what Crash means for an in-process worker.
+      o.kind = FailureKind::Crash;
+      o.error = e.what();
     } catch (...) {
+      o.kind = FailureKind::Crash;
       o.error = "(non-standard exception)";
     }
+    if (o.error.empty()) o.error = "(exception with empty message)";
     return o;
   }
 

@@ -85,6 +85,8 @@ RunRequest parse_request_line(const std::string& line) {
       req.size_mib = parse_u64(key, val);
     } else if (key == "gpu-mib") {
       req.gpu_mib = parse_u64(key, val);
+    } else if (key == "backend") {
+      req.backend = val;
     } else if (key == "prefetch") {
       req.prefetch = val;
     } else if (key == "threshold") {
@@ -205,6 +207,10 @@ std::string canonical_request(const RunRequest& req) {
      << " hazard-ac=" << fmt_double(req.hazard_ac)
      << " hazard-seed=" << req.hazard_seed
      << " sabotage=" << to_string(req.sabotage);
+  // Spelled only when non-default: every request predating the backend knob
+  // keeps the canonical line — and the content address — it was stored
+  // under. New non-default keys must follow the same append-when-set rule.
+  if (req.backend != "driver") os << " backend=" << req.backend;
   return os.str();
 }
 
@@ -223,6 +229,15 @@ SimConfig request_sim_config(const RunRequest& req) {
   cfg.enable_fault_log = false;
   cfg.driver.batch_size = req.batch_size;
   cfg.driver.prefetch_threshold = req.threshold;
+
+  if (req.backend == "driver") {
+    cfg.driver.backend = ServicingBackendKind::DriverCentric;
+  } else if (req.backend == "gpu") {
+    cfg.driver.backend = ServicingBackendKind::GpuDriven;
+  } else {
+    throw ConfigError("request.backend",
+                      "wants driver|gpu, got '" + req.backend + "'");
+  }
 
   if (req.prefetch == "on") {
     cfg.driver.prefetch_enabled = true;
@@ -320,6 +335,7 @@ std::vector<std::string> request_cli_args(const RunRequest& req) {
     add("--size-mib", std::to_string(req.size_mib));
   }
   add("--gpu-mib", std::to_string(req.gpu_mib));
+  if (req.backend != "driver") add("--backend", req.backend);
   add("--prefetch", req.prefetch);
   add("--threshold", std::to_string(req.threshold));
   add("--policy", req.policy);

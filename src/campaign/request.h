@@ -33,6 +33,11 @@ struct RunRequest {
   std::string trace_content;         ///< loaded trace bytes (hashed, not path)
   std::uint64_t size_mib = 64;
   std::uint64_t gpu_mib = 128;
+  /// Fault-servicing backend: "driver" (CPU-driver batched path) or "gpu"
+  /// (GPU-driven per-fault resolution). The canonical line spells this key
+  /// only when non-default, so every pre-existing request keeps the content
+  /// address it was stored under.
+  std::string backend = "driver";
   std::string prefetch = "on";       ///< on | off | adaptive
   std::uint32_t threshold = 51;
   std::string policy = "batch_flush";///< block | batch | batch_flush | once

@@ -176,20 +176,13 @@ RunOutcome ProcessWorker::run(const RunRequest& req,
     o.result = result_payload(req, csv);
     return o;
   }
-  switch (exit_code) {
-    case 2:
-      o.failure = FailureKind::Config;
-      break;
-    case 3:
-      o.failure = FailureKind::Simulation;
-      break;
-    case 127:
-      o.failure = FailureKind::Io;
-      o.detail = "cannot exec '" + cli_path_ + "'";
-      return o;
-    default:
-      o.failure = FailureKind::Crash;
-      break;
+  // Shared matrix (core/errors.h): the child is uvmsim_cli, so its exit
+  // code carries the failure class it already determined — invert the same
+  // table both tools exit with instead of keeping a private copy here.
+  o.failure = classify_exit_code(exit_code);
+  if (exit_code == 127) {
+    o.detail = "cannot exec '" + cli_path_ + "'";
+    return o;
   }
   o.detail = "exit=" + std::to_string(exit_code);
   return o;

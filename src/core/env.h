@@ -1,0 +1,36 @@
+// Validated environment-variable parsing, shared by every front end.
+//
+// One definition so the benches' UVMSIM_GPU_MIB / UVMSIM_FAST handling and
+// the campaign executor's UVMSIM_THREADS handling warn and clamp
+// identically: strtoull silently maps garbage to 0 and negative input to a
+// huge wrapped value, either of which would turn a typo'd knob into a
+// 0-byte GPU or a silent serial run. Validate the whole string and fall
+// back loudly instead.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+namespace uvmsim {
+
+/// Reads `name` as a non-negative integer; unset/empty returns `def`.
+/// Malformed values (trailing junk, negatives, overflow) warn on stderr and
+/// return `def`.
+inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || v[0] == '-') {
+    std::cerr << "uvmsim: ignoring invalid " << name << "=\"" << v
+              << "\" (want a non-negative integer); using default " << def
+              << "\n";
+    return def;
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace uvmsim

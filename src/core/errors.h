@@ -106,4 +106,49 @@ enum class FailureKind : std::uint8_t {
          k == FailureKind::Timeout || k == FailureKind::Io;
 }
 
+// Process exit codes — ONE matrix for every tool. uvmsim_cli and
+// uvm_campaign both exit with these, and ProcessWorker classifies a forked
+// child's exit status by inverting the same table, so a child's
+// self-reported failure class survives the fork/exec boundary intact.
+//
+//   0  success
+//   1  usage error, I/O failure, or uncaught exception
+//   2  invalid configuration (ConfigError)
+//   3  the model failed mid-run (SimulationError)
+//   4  campaign finished but quarantined at least one request
+//   127 exec() itself failed (shell convention; classified as Io)
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;
+inline constexpr int kExitConfig = 2;
+inline constexpr int kExitSimulation = 3;
+inline constexpr int kExitQuarantined = 4;
+
+/// The exit code a tool reports for a run that failed with `k`.
+[[nodiscard]] constexpr int exit_code_for(FailureKind k) {
+  switch (k) {
+    case FailureKind::None: return kExitOk;
+    case FailureKind::Config: return kExitConfig;
+    case FailureKind::Simulation: return kExitSimulation;
+    case FailureKind::Crash:
+    case FailureKind::Timeout:
+    case FailureKind::Io: return kExitError;
+  }
+  return kExitError;
+}
+
+/// Inverse mapping used by ProcessWorker on a child that exited normally
+/// (signals and watchdog kills are classified before this applies).
+/// Unknown codes are Crash: the child died in a way the matrix does not
+/// describe, which is exactly what Crash means.
+[[nodiscard]] constexpr FailureKind classify_exit_code(int code) {
+  switch (code) {
+    case kExitOk: return FailureKind::None;
+    case kExitError: return FailureKind::Io;
+    case kExitConfig: return FailureKind::Config;
+    case kExitSimulation: return FailureKind::Simulation;
+    case 127: return FailureKind::Io;  // exec() failed in the forked child
+    default: return FailureKind::Crash;
+  }
+}
+
 }  // namespace uvmsim

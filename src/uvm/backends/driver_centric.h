@@ -1,0 +1,28 @@
+// The paper's CPU-driver servicing path as a ServicingBackend.
+//
+// This is the historical Driver::run_pass() body moved verbatim behind the
+// seam: interrupt-latency wakeup, per-pass overhead + one-time cold start,
+// batch fetch with preprocessing (fetch/poll/sort/bin), per-VABlock
+// service, and the configured replay policy. Counter, profiler, fault-log,
+// and trace emission order are untouched, so output is byte-identical to
+// the pre-seam driver (pinned by tests/backend_parity_test.cpp).
+#pragma once
+
+#include "uvm/backends/servicing_backend.h"
+
+namespace uvmsim {
+
+class DriverCentricBackend final : public ServicingBackend {
+ public:
+  explicit DriverCentricBackend(Driver& drv) : ServicingBackend(drv) {}
+
+  SimTime service_pass() override;
+
+  [[nodiscard]] SimDuration wake_latency() const override {
+    return costs().interrupt_latency;
+  }
+
+  [[nodiscard]] const char* name() const override { return "driver"; }
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,56 @@
+// GPUVM-style GPU-driven paging as a ServicingBackend (arxiv 2411.05309).
+//
+// The CPU round-trip disappears: a GPU-side resolution engine drains the
+// fault queue per-fault — no interrupt (queue visibility replaces the 18 µs
+// interrupt latency), no batch fetch/preprocess pass, no prefetcher, no
+// replay policy. Each fault pays a small resolution cost, allocates its
+// base-page group from a device-resident pool (no RM round trip), pulls
+// host-resident data over the interconnect as page-sized RDMA reads
+// (reserve_pipelined: no bulk-transfer setup latency, but every 4 KB
+// occupies the wire — this is what forfeits the driver path's coalesced
+// 2 MB migration amortization), and updates its PTEs locally.
+//
+// Contention is modeled on the bounded resolution queue: queue_slots
+// resolutions may be in flight; the i-th fault runs on slot i % N and
+// stalls until that slot's previous resolution finishes. Under dense fault
+// storms the stall time dominates, which is the backend's honest cost.
+//
+// Memory pressure reuses the driver's chunk-granular eviction machinery
+// (GPUVM, too, must evict under oversubscription); pages that cannot be
+// backed degrade to host-pinned remote mappings, mirroring the driver
+// path's graceful degradation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "uvm/backends/servicing_backend.h"
+
+namespace uvmsim {
+
+class GpuDrivenBackend final : public ServicingBackend {
+ public:
+  explicit GpuDrivenBackend(Driver& drv);
+
+  SimTime service_pass() override;
+
+  [[nodiscard]] SimDuration wake_latency() const override {
+    return costs().gpu_driven.queue_wake;
+  }
+
+  [[nodiscard]] const char* name() const override { return "gpu"; }
+
+ private:
+  /// Resolves one fault entry; returns its completion time.
+  SimTime resolve_fault(const FaultEntry& e, SimTime pass_start);
+  /// Backs page `i` of `blk` with one 4 KB chunk, evicting under pressure.
+  /// Returns false when no eviction victim was available (caller degrades
+  /// the page to a remote mapping).
+  bool back_page(VaBlock& blk, std::uint32_t i, SimTime& t);
+
+  /// slot_free_[s] = when resolution slot s finishes its current fault.
+  std::vector<SimTime> slot_free_;
+  std::uint64_t next_slot_ = 0;
+};
+
+}  // namespace uvmsim

@@ -13,6 +13,8 @@
 // relationships (e.g. RM call >> cached alloc), never absolute values.
 #pragma once
 
+#include <cstdint>
+
 #include "sim/time.h"
 
 namespace uvmsim {
@@ -101,6 +103,41 @@ struct CostModel {
   // --- access counters (extension) ---
   /// Draining one access-counter notification.
   SimDuration access_notification = 300;
+
+  /// GPU-driven servicing backend (GPUVM, arxiv 2411.05309): the GPU
+  /// resolves its own faults per-fault over an RDMA-style bounded queue —
+  /// no CPU interrupt, no batch fetch/preprocess, no prefetcher, and
+  /// page-granular transfers instead of coalesced block migrations. The
+  /// constants model the GPU-side resolution engine; they are deliberately
+  /// small next to the driver path's per-pass overheads (that is GPUVM's
+  /// pitch) but each resolved page pays the wire per 4 KB, so dense
+  /// sequential access loses the driver path's bulk-transfer amortization.
+  struct GpuDrivenCosts {
+    /// Fault visible to the GPU-side resolver (queue write, no interrupt).
+    SimDuration queue_wake = 1 * kMicrosecond;
+    /// Bounded resolution queue depth: concurrent in-flight resolutions.
+    /// Faults beyond this stall until a slot frees (contention modeling).
+    std::uint32_t queue_slots = 64;
+    /// Per-fault resolution handler (lookup + state machine, GPU-side).
+    SimDuration resolve_base = 1500;
+    /// Short-circuit for a fault whose page is already resident/mapped.
+    SimDuration resolve_stale = 300;
+    /// GPU-side page allocation from the pre-registered pool (no RM round
+    /// trip — GPUVM's allocator is a device-resident free list).
+    SimDuration alloc_page = 200;
+    /// One GPU-side PTE update (no membar/TLB broadcast per page; the
+    /// resolver invalidates locally).
+    SimDuration pte_update = 200;
+    /// Per-page RDMA read transaction overhead (doorbell, remote WQE
+    /// processing, completion polling); the wire time itself comes from the
+    /// interconnect model. This is the per-4KB cost that dense sequential
+    /// access amortizes away on the driver path's bulk 2 MB migrations.
+    SimDuration rdma_overhead = 1500;
+    /// Waking the parked warps once a drain completes (queue doorbell, far
+    /// cheaper than a driver replay method).
+    SimDuration resume_issue = 2 * kMicrosecond;
+  };
+  GpuDrivenCosts gpu_driven;
 };
 
 }  // namespace uvmsim

@@ -56,6 +56,14 @@ struct DriverCounters {
   std::uint64_t thrash_pinned_pages = 0;   ///< faults served by pin/remote map
   std::uint64_t thrash_throttles = 0;      ///< throttled block services
 
+  // --- GPU-driven servicing backend (all zero on the driver-centric
+  // path): per-fault resolution over the bounded GPU-side queue ---
+  std::uint64_t gpu_resolved_faults = 0;   ///< faults resolved GPU-side
+  std::uint64_t gpu_queue_stalls = 0;      ///< resolutions that waited for a slot
+  std::uint64_t gpu_queue_stall_ns = 0;    ///< total slot-wait time
+  std::uint64_t gpu_page_fetches = 0;      ///< pages pulled over the RDMA queue
+  std::uint64_t gpu_remote_fallback_pages = 0;  ///< unbackable, left host-pinned
+
   // --- hazard recovery (all zero in hazard-free runs) ---
   std::uint64_t dma_retries = 0;           ///< failed-copy retry rounds
   std::uint64_t dma_runs_retried = 0;      ///< individual runs re-issued

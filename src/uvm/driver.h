@@ -45,6 +45,8 @@
 
 namespace uvmsim {
 
+class ServicingBackend;
+
 class Driver {
  public:
   /// External subsystems the driver talks to; all outlive the driver.
@@ -66,6 +68,7 @@ class Driver {
 
   Driver(const DriverConfig& cfg, const CostModel& cm, const Deps& deps,
          bool enable_fault_log = true);
+  ~Driver();  // out of line: ServicingBackend is incomplete here
 
   /// GPU interrupt line: schedules a wakeup unless the driver is already
   /// processing or a wakeup is in flight.
@@ -109,8 +112,15 @@ class Driver {
   [[nodiscard]] const LogHistogram& queue_latency() const {
     return queue_latency_;
   }
+  /// The servicing backend driving each pass body (selected by
+  /// DriverConfig::backend).
+  [[nodiscard]] const ServicingBackend& backend() const { return *backend_; }
 
  private:
+  /// The single friend surface into driver internals: backends reach state
+  /// and pass building blocks only through ServicingBackend's protected
+  /// shims, never via their own friendship.
+  friend class ServicingBackend;
   /// Outcome of a hazard-hardened copy: the completion time plus how much
   /// of the elapsed span was recovery (already charged to ErrorRecovery —
   /// callers subtract it from their own category charge).
@@ -221,6 +231,7 @@ class Driver {
   DriverConfig cfg_;
   CostModel cm_;
   Deps d_;
+  std::unique_ptr<ServicingBackend> backend_;
   DriverCounters counters_;
   Profiler prof_;
   FaultLog log_;

@@ -71,6 +71,15 @@ enum class EvictionPolicyKind : std::uint8_t {
   AccessCounter,  ///< LRU promoted by Volta access counters (paper §VI-B)
 };
 
+/// Fault-servicing backend selector (the ServicingBackend seam).
+enum class ServicingBackendKind : std::uint8_t {
+  DriverCentric,  ///< the paper's CPU-driver path (default; byte-identical
+                  ///< to the historical inline implementation)
+  GpuDriven,      ///< GPUVM-style per-fault GPU-side resolution
+};
+
+[[nodiscard]] const char* to_string(ServicingBackendKind k);
+
 /// Chunked PMA backing (paper §V-A3 / §VI-B): when free GPU memory is
 /// plentiful every VABlock is backed by one whole 2 MB root chunk — the
 /// stock path, byte-identical to the historical behaviour. Under a
@@ -93,6 +102,10 @@ struct ChunkedBackingConfig {
 };
 
 struct DriverConfig {
+  /// Which servicing path handles GPU faults. DriverCentric is the system
+  /// under study in the paper; GpuDriven is the GPUVM-style alternative.
+  ServicingBackendKind backend = ServicingBackendKind::DriverCentric;
+
   /// Faults fetched per batch (driver default 256, paper §III-A).
   std::uint32_t batch_size = 256;
 

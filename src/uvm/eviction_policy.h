@@ -6,6 +6,7 @@
 // stock configuration, smaller with the flexible-granularity extension.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -22,8 +23,20 @@ struct SliceKey {
   std::uint32_t slice = 0;
 
   bool operator==(const SliceKey&) const = default;
+  /// Injective 32/32 packing for hash-map keys. The former
+  /// `block * kPagesPerBlock + slice` had no overflow guard and conflated
+  /// pages-per-block with slices-per-block: any slice index >= 512 aliased
+  /// a neighbouring block's slice 0 (e.g. {block 0, slice 512} == {block 1,
+  /// slice 0}). A shifted key keeps the halves disjoint for every block ID
+  /// below 2^32 — 2^32 blocks x 2 MB = 8 EB of VA, beyond any address
+  /// space this simulates — which the asserts pin.
   [[nodiscard]] std::uint64_t packed() const {
-    return block * kPagesPerBlock + slice;
+    static_assert(kPagesPerBlock <= (std::uint64_t{1} << 32),
+                  "slice index must fit the key's lower 32 bits");
+    static_assert(sizeof(slice) == sizeof(std::uint32_t),
+                  "slice half of the key is exactly 32 bits");
+    assert((block >> 32) == 0 && "block ID exceeds the key's upper half");
+    return (block << 32) | slice;
   }
 };
 

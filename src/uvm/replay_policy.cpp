@@ -26,6 +26,14 @@ const char* describe(ReplayPolicyKind k) {
   return "unknown";
 }
 
+const char* to_string(ServicingBackendKind k) {
+  switch (k) {
+    case ServicingBackendKind::DriverCentric: return "driver";
+    case ServicingBackendKind::GpuDriven: return "gpu";
+  }
+  return "unknown";
+}
+
 const char* to_string(EvictionPolicyKind k) {
   switch (k) {
     case EvictionPolicyKind::Lru: return "lru";

@@ -76,6 +76,16 @@ class CampaignTest : public ::testing::Test {
     return "workload=regular size-mib=4 gpu-mib=8 batch-size=64 " + tweak;
   }
 
+  /// Values following every `--backend` occurrence in a CLI argv.
+  static std::vector<std::string> gpu_args_of(
+      const std::vector<std::string>& args) {
+    std::vector<std::string> vals;
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+      if (args[i] == "--backend") vals.push_back(args[i + 1]);
+    }
+    return vals;
+  }
+
   fs::path dir_;
 };
 
@@ -90,6 +100,51 @@ TEST_F(CampaignTest, CanonicalFormIsOrderAndDefaultInsensitive) {
 
   const RunRequest c = parse_request_line("workload=sgemm size-mib=97");
   EXPECT_NE(request_id(a), request_id(c));
+}
+
+TEST_F(CampaignTest, BackendKeyPreservesLegacyContentAddresses) {
+  // A request that never mentions the backend knob — or spells the default
+  // explicitly — must keep the exact canonical line (and content address)
+  // it had before the knob existed: result stores written by older
+  // campaigns stay valid.
+  const RunRequest legacy = parse_request_line("workload=sgemm size-mib=96");
+  const RunRequest explicit_default =
+      parse_request_line("workload=sgemm size-mib=96 backend=driver");
+  EXPECT_EQ(canonical_request(legacy), canonical_request(explicit_default));
+  EXPECT_EQ(canonical_request(legacy).find("backend="), std::string::npos);
+
+  // Pinned: the default canonical form ends at the sabotage key, exactly as
+  // it did before the backend field was added.
+  const std::string canon = canonical_request(legacy);
+  EXPECT_EQ(canon.substr(canon.size() - std::string(" sabotage=none").size()),
+            " sabotage=none");
+
+  // Non-default backends do hash (appended after the legacy keys).
+  const RunRequest gpu =
+      parse_request_line("workload=sgemm size-mib=96 backend=gpu");
+  EXPECT_NE(request_id(legacy), request_id(gpu));
+  EXPECT_NE(canonical_request(gpu).find(" backend=gpu"), std::string::npos);
+}
+
+TEST_F(CampaignTest, BackendKeyMapsToConfigAndCliArgs) {
+  const RunRequest gpu = parse_request_line(tiny("backend=gpu"));
+  EXPECT_EQ(request_sim_config(gpu).driver.backend,
+            ServicingBackendKind::GpuDriven);
+
+  const auto args = gpu_args_of(request_cli_args(gpu));
+  ASSERT_EQ(args.size(), 1u);
+  EXPECT_EQ(args[0], "gpu");
+
+  // Default requests forward no --backend flag: the child CLI invocation —
+  // and thus the process-isolation worker's behaviour — is unchanged.
+  const RunRequest legacy = parse_request_line(tiny());
+  EXPECT_EQ(request_sim_config(legacy).driver.backend,
+            ServicingBackendKind::DriverCentric);
+  EXPECT_TRUE(gpu_args_of(request_cli_args(legacy)).empty());
+
+  EXPECT_THROW((void)request_sim_config(parse_request_line(
+                   tiny("backend=fpga"))),
+               ConfigError);
 }
 
 TEST_F(CampaignTest, RequestIdIs16LowercaseHex) {
@@ -609,6 +664,70 @@ TEST_F(CampaignTest, ExecutorCapturesExceptionsPerTask) {
       EXPECT_EQ(*outcomes[i].value, static_cast<int>(i) * 10);
     }
   }
+}
+
+// The shared exit-code matrix: exit_code_for (what uvmsim_cli and
+// uvm_campaign exit with) and classify_exit_code (how ProcessWorker reads
+// a child's status) must stay inverses for every failure class a child can
+// self-report. Crash and Timeout are detected from signals/deadlines, not
+// exit codes, so they round-trip to the generic error code instead.
+TEST_F(CampaignTest, ExitCodeMatrixRoundTrips) {
+  EXPECT_EQ(exit_code_for(FailureKind::None), 0);
+  EXPECT_EQ(exit_code_for(FailureKind::Io), 1);
+  EXPECT_EQ(exit_code_for(FailureKind::Config), 2);
+  EXPECT_EQ(exit_code_for(FailureKind::Simulation), 3);
+  for (FailureKind k : {FailureKind::None, FailureKind::Config,
+                        FailureKind::Simulation, FailureKind::Io}) {
+    EXPECT_EQ(classify_exit_code(exit_code_for(k)), k) << to_string(k);
+  }
+  // Shell-convention exec failure and unknown codes.
+  EXPECT_EQ(classify_exit_code(127), FailureKind::Io);
+  EXPECT_EQ(classify_exit_code(kExitQuarantined), FailureKind::Crash);
+  EXPECT_EQ(classify_exit_code(42), FailureKind::Crash);
+}
+
+// Escaped worker exceptions must carry their fleet-level classification so
+// retry/quarantine policy keys on the real failure class — the old blind
+// catch reduced everything to an unclassified string (seen as Io upstream).
+TEST_F(CampaignTest, ExecutorClassifiesEscapedExceptions) {
+  TaskExecutor exec(2);
+  auto outcomes = exec.map_capture(5, [](std::size_t i) -> int {
+    switch (i) {
+      case 0: throw ConfigError("Driver.batch_size", "must be positive");
+      case 1: throw SimulationError("deadlock");
+      case 2: throw IoError("disk full");
+      case 3: throw std::runtime_error("worker bug");
+      default: return 7;
+    }
+  });
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_EQ(outcomes[0].kind, FailureKind::Config);
+  EXPECT_EQ(outcomes[1].kind, FailureKind::Simulation);
+  EXPECT_EQ(outcomes[2].kind, FailureKind::Io);
+  EXPECT_EQ(outcomes[3].kind, FailureKind::Crash);
+  EXPECT_EQ(outcomes[4].kind, FailureKind::None);
+  ASSERT_TRUE(outcomes[4].ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(outcomes[i].ok()) << i;
+    EXPECT_FALSE(outcomes[i].error.empty()) << i;
+    EXPECT_TRUE(is_retryable(outcomes[i].kind) ||
+                outcomes[i].kind == FailureKind::Config)
+        << i;
+  }
+  // The one class retries must never touch: deterministic config failures.
+  EXPECT_FALSE(is_retryable(outcomes[0].kind));
+}
+
+// A non-standard exception (not derived from std::exception) is still a
+// classified Crash, not a silent swallow.
+TEST_F(CampaignTest, ExecutorClassifiesNonStandardExceptionAsCrash) {
+  TaskExecutor exec(1);
+  auto outcomes =
+      exec.map_capture(1, [](std::size_t) -> int { throw 42; });
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok());
+  EXPECT_EQ(outcomes[0].kind, FailureKind::Crash);
+  EXPECT_EQ(outcomes[0].error, "(non-standard exception)");
 }
 
 TEST_F(CampaignTest, ExecutorDeliversResultsInIndexOrder) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -371,6 +372,52 @@ TEST(AccessCounterEviction, NotificationMapsBigPageToSlice) {
   auto v = ac.pick_victim(any);
   ASSERT_TRUE(v);
   EXPECT_EQ(v->slice, 3u);
+}
+
+// Regression: the old `block * kPagesPerBlock + slice` packing aliased
+// {block b, slice s >= 512} with {block b+1, slice s-512}, so two distinct
+// slices shared one hash-map entry and evicting one forgot the other. The
+// shifted 32/32 key must keep them distinct, including at block IDs large
+// enough that the old multiply was deep into its wraparound regime.
+TEST(SliceKey, PackedIsInjectiveAcrossBlocks) {
+  const SliceKey a{0, kPagesPerBlock};  // old scheme: == {1, 0}
+  const SliceKey b{1, 0};
+  EXPECT_NE(a.packed(), b.packed());
+  EXPECT_EQ(a.packed() >> 32, 0u);  // block lives in the upper half
+  EXPECT_EQ(b.packed() >> 32, 1u);
+
+  // Large block IDs: the old multiply collided {2^55, 0} with {0, 0} after
+  // the 64-bit wrap; the shifted key stays injective below 2^32 blocks.
+  const SliceKey big{0xFFFF'FFFFull, 7};
+  EXPECT_EQ(big.packed() >> 32, 0xFFFF'FFFFull);
+  EXPECT_EQ(big.packed() & 0xFFFF'FFFFull, 7u);
+
+  // Dense pairwise check over a grid spanning both halves.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t blk : {0ull, 1ull, 2ull, 511ull, 512ull, 513ull,
+                            (1ull << 31), 0xFFFF'FFFFull}) {
+    for (std::uint32_t slice : {0u, 1u, 511u, 512u, 1023u}) {
+      keys.push_back(SliceKey{blk, slice}.packed());
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+      << "packed() produced a collision";
+}
+
+// The LRU keyed by packed() must treat old-scheme aliases as distinct
+// slices end to end: evicting one leaves the other tracked and evictable.
+TEST(LruEviction, NoAliasingAtOldCollisionPoints) {
+  LruEviction lru;
+  lru.on_slice_allocated({0, kPagesPerBlock});
+  lru.on_slice_allocated({1, 0});
+  EXPECT_EQ(lru.tracked(), 2u);
+  lru.on_slice_evicted({0, kPagesPerBlock});
+  EXPECT_EQ(lru.tracked(), 1u);
+  auto v = lru.pick_victim(any);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->block, 1u);
+  EXPECT_EQ(v->slice, 0u);
 }
 
 TEST(AccessCounterEviction, Name) {

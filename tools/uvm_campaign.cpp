@@ -14,8 +14,10 @@
 //   uvm_campaign --queue sweep.q --store results/campaign --isolate process
 //       --cli build/tools/uvmsim_cli --timeout-ms 30000
 //
-// Exit codes: 0 all requests completed, 4 finished but some requests are
-// quarantined, 1 usage / I/O problem, 2 invalid configuration.
+// Exit codes follow the shared matrix in core/errors.h: 0 all requests
+// completed, 1 usage / I/O problem, 2 invalid configuration, 3 simulation
+// failure outside the worker fleet, 4 finished but some requests are
+// quarantined.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -59,7 +61,9 @@ campaign-level hazard injection (testing; rates in [0,1)):
   --hazard-journal-truncate-rate R  a journal append is torn mid-line
   --hazard-seed N                 hazard decision seed (default 0)
 
-exit codes: 0 all completed, 4 some quarantined, 1 usage/IO, 2 bad config
+exit codes (shared with uvmsim_cli): 0 all completed, 1 usage/IO,
+  2 bad config, 3 simulation failure outside the fleet (e.g. during
+  queue validation), 4 some requests quarantined
 )";
 }
 
@@ -170,19 +174,26 @@ int run_campaign_cli(int argc, char** argv) {
     std::cout << "  quarantined " << line << "\n";
   }
   std::cout << "store: " << opts->cfg.store_dir << "\n";
-  return rep.all_completed() ? 0 : 4;
+  return rep.all_completed() ? uvmsim::kExitOk : uvmsim::kExitQuarantined;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Same matrix as uvmsim_cli (core/errors.h). SimulationError gets its
+  // own branch — it used to fall through to the generic 1, so a model bug
+  // surfacing outside the fleet (queue validation, a thread-mode worker
+  // rethrow) was indistinguishable from a bad flag.
   try {
     return run_campaign_cli(argc, argv);
   } catch (const uvmsim::ConfigError& e) {
     std::cerr << "config error: " << e.what() << "\n";
-    return 2;
+    return uvmsim::exit_code_for(uvmsim::FailureKind::Config);
+  } catch (const uvmsim::SimulationError& e) {
+    std::cerr << "simulation error: " << e.what() << "\n";
+    return uvmsim::exit_code_for(uvmsim::FailureKind::Simulation);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return uvmsim::exit_code_for(uvmsim::FailureKind::Io);
   }
 }

@@ -37,6 +37,7 @@ struct CliOptions {
   std::string workload = "regular";
   std::uint64_t size_mib = 64;
   std::uint64_t gpu_mib = 128;
+  std::string backend = "driver";  // driver | gpu
   std::string prefetch = "on";  // on | off | adaptive
   std::uint32_t threshold = 51;
   std::string policy = "batch_flush";
@@ -72,6 +73,9 @@ options:
   --workload NAME      regular|random|sgemm|stream|cufft|tealeaf|hpgmg|cusparse|bfs
   --size-mib N         managed data footprint (default 64)
   --gpu-mib N          simulated GPU memory (default 128)
+  --backend B          driver | gpu — fault-servicing backend: the CPU
+                       driver's batched path, or GPUVM-style per-fault
+                       GPU-side resolution (default driver)
   --prefetch MODE      on | off | adaptive (default on)
   --threshold P        density threshold percent 1..100 (default 51)
   --policy P           block | batch | batch_flush | once (default batch_flush)
@@ -148,6 +152,9 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (a == "--gpu-mib") {
       if (!(v = need_value(i))) return std::nullopt;
       o.gpu_mib = std::stoull(v);
+    } else if (a == "--backend") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.backend = v;
     } else if (a == "--prefetch") {
       if (!(v = need_value(i))) return std::nullopt;
       o.prefetch = v;
@@ -235,6 +242,15 @@ std::optional<SimConfig> to_config(const CliOptions& o) {
   cfg.enable_fault_log = o.pattern;
   cfg.driver.batch_size = o.batch_size;
   cfg.driver.prefetch_threshold = o.threshold;
+
+  if (o.backend == "driver") {
+    cfg.driver.backend = ServicingBackendKind::DriverCentric;
+  } else if (o.backend == "gpu") {
+    cfg.driver.backend = ServicingBackendKind::GpuDriven;
+  } else {
+    std::cerr << "bad --backend: " << o.backend << " (driver | gpu)\n";
+    return std::nullopt;
+  }
 
   if (o.prefetch == "on") {
     cfg.driver.prefetch_enabled = true;
@@ -456,19 +472,21 @@ int run_cli(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Exit codes: 0 success, 1 usage / I/O problem, 2 invalid configuration,
-  // 3 simulation failure (e.g. deadlock) — scripts can tell "fix your
-  // flags" apart from "the simulated system wedged".
+  // The shared exit-code matrix (core/errors.h): 0 success, 1 usage / I/O
+  // problem, 2 invalid configuration, 3 simulation failure (e.g. deadlock)
+  // — scripts can tell "fix your flags" apart from "the simulated system
+  // wedged", and ProcessWorker inverts the same table on the other side of
+  // a fork/exec.
   try {
     return run_cli(argc, argv);
   } catch (const ConfigError& e) {
     std::cerr << "config error: " << e.what() << "\n";
-    return 2;
+    return exit_code_for(FailureKind::Config);
   } catch (const SimulationError& e) {
     std::cerr << "simulation error: " << e.what() << "\n";
-    return 3;
+    return exit_code_for(FailureKind::Simulation);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return exit_code_for(FailureKind::Io);
   }
 }
