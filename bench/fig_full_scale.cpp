@@ -1,0 +1,211 @@
+// Full-scale Titan V fidelity bench (PR 8): the paper's hardware scale —
+// 12 GB GPU memory, 80 SMs, a multi-GiB oversubscribed working set, millions
+// of 4 KB pages — driven once on the serial servicing path and once with
+// intra-run servicing lanes, proving two claims at once:
+//
+//   1. Determinism: the simulated run (end-to-end time + every counter that
+//      reaches a report) is bit-identical for any lane count. A digest of
+//      the result is compared across the two runs.
+//   2. Wall-clock: the lane pipeline's sharded sort/bin + precomputed
+//      prefetch plans beat the serial pass on the servicing-heavy
+//      oversubscribed configuration. The measured speedup lands in
+//      BENCH_pr8.json.
+//
+// Scale knobs: UVMSIM_GPU_MIB overrides the 12 GB GPU (CI smoke uses a small
+// value), UVMSIM_FAST=1 shrinks to a seconds-long smoke run, UVMSIM_THREADS
+// picks the lane count (default 4 here — this bench exists to measure the
+// laned path).
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/atomic_file.h"
+#include "core/env.h"
+#include "core/metrics.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+/// FNV-1a over every run property a report prints: simulated times, fault
+/// accounting, migration/eviction traffic. Two runs with equal digests are
+/// indistinguishable to every downstream consumer.
+std::uint64_t result_digest(const RunResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(r.end_time));
+  mix(static_cast<std::uint64_t>(r.total_kernel_time()));
+  const DriverCounters& c = r.counters;
+  mix(c.passes);
+  mix(c.faults_fetched);
+  mix(c.faults_serviced);
+  mix(c.duplicate_faults);
+  mix(c.stale_faults);
+  mix(c.blocks_serviced);
+  mix(c.pages_migrated_h2d);
+  mix(c.pages_prefetched);
+  mix(c.pages_evicted);
+  mix(c.evictions);
+  mix(c.replays_issued);
+  mix(c.pages_zeroed);
+  mix(static_cast<std::uint64_t>(r.profiler.grand_total()));
+  mix(r.fault_queue_latency.count());
+  return h;
+}
+
+struct Timed {
+  RunResult result;
+  double wall_s;       ///< best-of-N whole-process wall time
+  double servicing_s;  ///< best-of-N ordering-thread CPU in servicing passes
+  double work_s;       ///< best-of-N all-thread CPU in servicing passes
+};
+
+/// One timed run; the caller folds repetitions into a best-of-N per path.
+Timed run_once(SimConfig cfg, std::uint64_t size_bytes, std::uint32_t lanes) {
+  cfg.driver.service_lanes = lanes;
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r = run_workload(cfg, "random", size_bytes);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double serv = static_cast<double>(r.servicing_host_ns) * 1e-9;
+  const double work = static_cast<double>(r.servicing_cpu_ns) * 1e-9;
+  return {std::move(r), std::chrono::duration<double>(t1 - t0).count(), serv,
+          work};
+}
+
+/// Folds a repetition into the running best-of-N (runs are deterministic,
+/// so every rep produces the same RunResult — only host scheduling noise
+/// varies, which best-of-N suppresses on a busy CI box).
+void fold_best(Timed& best, Timed rep, bool first) {
+  if (first) {
+    best = std::move(rep);
+    return;
+  }
+  best.wall_s = std::min(best.wall_s, rep.wall_s);
+  best.servicing_s = std::min(best.servicing_s, rep.servicing_s);
+  best.work_s = std::min(best.work_s, rep.work_s);
+}
+
+}  // namespace
+
+int main() {
+  // Default to the Titan V's 12 GB unless the environment scales it down.
+  const std::uint64_t gpu_mib =
+      env_u64("UVMSIM_GPU_MIB", fast_mode() ? 256 : 12 * 1024);
+  const std::uint64_t gpu_bytes = gpu_mib << 20;
+  // 4:3 oversubscription: servicing-dominated (evictions + prefetch churn),
+  // the regime the lane pipeline targets.
+  const std::uint64_t size_bytes = gpu_bytes + gpu_bytes / 3;
+
+  std::uint64_t threads = env_u64("UVMSIM_THREADS", 4);
+  if (threads < 2) threads = 4;  // this bench measures the laned path
+  const std::size_t lanes = clamp_thread_count(threads, "UVMSIM_THREADS");
+
+  SimConfig cfg;
+  cfg.set_gpu_memory(gpu_bytes);
+  cfg.gpu.num_sms = 80;
+  // The digest covers counters/profiler/latency, not the log; at full scale
+  // the log would be millions of entries of pure allocation noise.
+  cfg.enable_fault_log = false;
+
+  std::cout << "full-scale Titan V mode: " << format_bytes(size_bytes)
+            << " random working set on " << format_bytes(gpu_bytes)
+            << " GPU (" << (size_bytes >> 12) << " pages), lanes=" << lanes
+            << "\n\n";
+
+  const int reps =
+      static_cast<int>(env_u64("UVMSIM_BENCH_REPS", fast_mode() ? 1 : 3));
+
+  // Interleave the paths rep by rep so slow drift in host load (CI
+  // neighbours) biases both paths equally instead of whichever ran last.
+  Timed serial, laned;
+  for (int i = 0; i < reps; ++i) {
+    fold_best(serial, run_once(cfg, size_bytes, 1), i == 0);
+    fold_best(laned,
+              run_once(cfg, size_bytes, static_cast<std::uint32_t>(lanes)),
+              i == 0);
+  }
+
+  const std::uint64_t d1 = result_digest(serial.result);
+  const std::uint64_t dn = result_digest(laned.result);
+  const bool identical = d1 == dn;
+  // The headline number is the servicing-path speedup: the driver's
+  // fault-servicing passes are the serial path the lane pipeline
+  // restructures, and servicing_host_ns times the ordering thread's
+  // critical path through exactly that code on the thread CPU clock
+  // (immune to neighbour-process preemption; helper-lane work overlaps it
+  // on parallel hardware). Two companion ratios keep it honest: the
+  // work-reduction ratio (process CPU — total cost across every lane, so
+  // parallel overlap doesn't count, only algorithmic savings) and the
+  // whole-run wall ratio, which includes GPU warp stepping and the event
+  // loop that the lanes deliberately leave untouched.
+  const double speedup_servicing =
+      laned.servicing_s > 0.0 ? serial.servicing_s / laned.servicing_s : 0.0;
+  const double speedup_work =
+      laned.work_s > 0.0 ? serial.work_s / laned.work_s : 0.0;
+  const double speedup_total =
+      laned.wall_s > 0.0 ? serial.wall_s / laned.wall_s : 0.0;
+
+  Table t({"path", "wall_s", "servicing_s", "sim_end_to_end", "digest"});
+  std::ostringstream h1, hn;
+  h1 << std::hex << d1;
+  hn << std::hex << dn;
+  t.add_row({"serial", fmt(serial.wall_s, 3), fmt(serial.servicing_s, 3),
+             format_duration(serial.result.end_time), h1.str()});
+  t.add_row({"lanes=" + fmt(static_cast<std::uint64_t>(lanes)),
+             fmt(laned.wall_s, 3), fmt(laned.servicing_s, 3),
+             format_duration(laned.result.end_time), hn.str()});
+  std::cout << t.to_text() << "\nspeedup (servicing critical path, best of "
+            << reps << "): " << fmt(speedup_servicing, 3) << "x\n"
+            << "servicing work reduction (all-lane CPU): "
+            << fmt(speedup_work, 3) << "x\n"
+            << "speedup (whole run): " << fmt(speedup_total, 3) << "x\n";
+  std::cout << "determinism: "
+            << (identical ? "PASS (digests equal)" : "FAIL (digests differ)")
+            << "\n";
+  std::cout << "lane stats: sharded_batches="
+            << laned.result.counters.lane_sharded_batches
+            << " plans_applied=" << laned.result.counters.lane_plans_applied
+            << " plans_recomputed="
+            << laned.result.counters.lane_plans_recomputed << "\n";
+
+  // Machine-readable evidence for BENCH_pr8.json.
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"fig_full_scale\",\n"
+       << "  \"gpu_mib\": " << gpu_mib << ",\n"
+       << "  \"size_mib\": " << (size_bytes >> 20) << ",\n"
+       << "  \"pages\": " << (size_bytes >> 12) << ",\n"
+       << "  \"lanes\": " << lanes << ",\n"
+       << "  \"host_cpus\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"wall_serial_s\": " << fmt(serial.wall_s, 4) << ",\n"
+       << "  \"wall_lanes_s\": " << fmt(laned.wall_s, 4) << ",\n"
+       << "  \"servicing_serial_s\": " << fmt(serial.servicing_s, 4) << ",\n"
+       << "  \"servicing_lanes_s\": " << fmt(laned.servicing_s, 4) << ",\n"
+       << "  \"servicing_cpu_serial_s\": " << fmt(serial.work_s, 4) << ",\n"
+       << "  \"servicing_cpu_lanes_s\": " << fmt(laned.work_s, 4) << ",\n"
+       << "  \"speedup\": " << fmt(speedup_servicing, 4) << ",\n"
+       << "  \"speedup_work\": " << fmt(speedup_work, 4) << ",\n"
+       << "  \"speedup_total\": " << fmt(speedup_total, 4) << ",\n"
+       << "  \"identical_output\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  const char* out = std::getenv("UVMSIM_BENCH_JSON");
+  if (out != nullptr && *out != '\0') {
+    atomic_write_file(out, json.str());
+    std::cout << "json -> " << out << "\n";
+  } else {
+    std::cout << json.str();
+  }
+  return identical ? 0 : 1;
+}

@@ -72,6 +72,31 @@ for b in "${SWEEP_BENCHES[@]}"; do
 done
 rm -rf "$SWEEP_TMP"
 
+echo "== full-scale smoke determinism (--full-scale, THREADS=1 vs 4) =="
+# The --full-scale preset (Titan V: 80 SMs, 12 GB PMA) at a CI-sized
+# footprint: the explicit size flags override the preset's capacities while
+# keeping the full-scale machinery (SM count, lanes-from-env) engaged.
+# Servicing lanes must never change a single output byte.
+FS_TMP=$(mktemp -d /tmp/uvmsim-fullscale.XXXXXX)
+FS_FLAGS=(--full-scale --gpu-mib 96 --size-mib 128 --csv)
+UVMSIM_THREADS=1 ./build/tools/uvmsim_cli "${FS_FLAGS[@]}" > "$FS_TMP/t1.txt"
+UVMSIM_THREADS=4 ./build/tools/uvmsim_cli "${FS_FLAGS[@]}" > "$FS_TMP/t4.txt"
+diff -u "$FS_TMP/t1.txt" "$FS_TMP/t4.txt" > /dev/null \
+  || { echo "full-scale determinism FAILED (lanes changed output)"; exit 1; }
+echo "uvmsim_cli --full-scale: byte-identical at 1 and 4 lanes"
+# fig_full_scale re-checks the same contract via result digests and records
+# the smoke-quality speedup JSON (full-scale numbers come from a non-FAST
+# run of the same binary; see EXPERIMENTS.md).
+UVMSIM_FAST=1 UVMSIM_THREADS=4 UVMSIM_BENCH_JSON="$FS_TMP/bench.json" \
+  ./build/bench/fig_full_scale > "$FS_TMP/fig.txt" \
+  || { echo "fig_full_scale determinism FAILED"; cat "$FS_TMP/fig.txt"; exit 1; }
+test -s "$FS_TMP/bench.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$FS_TMP/bench.json" > /dev/null
+  echo "fig_full_scale bench JSON parses"
+fi
+rm -rf "$FS_TMP"
+
 echo "== paper-shape gate (fig01 claim 4 / fig09 prefetch verdict) =="
 # shape_check prints [SHAPE PASS]/[SHAPE FAIL] without affecting the exit
 # code, so the gate greps stdout. These two assertions are the PR-5 fixes:
@@ -126,14 +151,22 @@ cmake -B build-asan -S . -DUVMSIM_SANITIZE=address
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan -j"$JOBS" --output-on-failure
 
-echo "== sanitized build (TSan: pool + sweep harness) =="
+echo "== sanitized build (TSan: lanes label + sweep harness) =="
 cmake -B build-tsan -S . -DUVMSIM_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" \
-  --target thread_pool_test sweep_runner_test fig09_oversub_breakdown
-./build-tsan/tests/thread_pool_test
+  --target thread_pool_test fault_batch_test prefetcher_test \
+           backend_parity_test sweep_runner_test fig09_oversub_breakdown \
+           fig_full_scale
+# The "lanes" label covers the intra-run parallel servicing path: lane
+# partitioning/reduction, sharded fault binning, plan precompute parity,
+# and backend byte-identity at service_lanes in {1,2,4}.
+ctest --test-dir build-tsan -L lanes -j"$JOBS" --output-on-failure
 ./build-tsan/tests/sweep_runner_test
 UVMSIM_FAST=1 UVMSIM_THREADS=4 ./build-tsan/bench/fig09_oversub_breakdown \
   > /dev/null
+# Laned full-scale servicing end to end under TSan (tiny footprint).
+UVMSIM_FAST=1 UVMSIM_GPU_MIB=64 UVMSIM_THREADS=4 \
+  ./build-tsan/bench/fig_full_scale > /dev/null
 echo "tsan suite: clean"
 
 echo "== ci: all green =="

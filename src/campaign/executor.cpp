@@ -1,27 +1,19 @@
 #include "campaign/executor.h"
 
-#include <algorithm>
-#include <cstdint>
-#include <thread>
-
 #include "core/env.h"
 
 namespace uvmsim::campaign {
 
 std::size_t default_workers() {
-  // Shared validated parser: malformed values warn once on stderr and fall
-  // back to the default (1 = serial), exactly like the bench-side knobs.
-  const std::uint64_t n = env_u64("UVMSIM_THREADS", 1);
-  if (n == 0) {
-    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  return static_cast<std::size_t>(n);
+  // Shared validated parser + clamp (core/env.h): malformed values warn
+  // once on stderr and fall back to the default (1 = serial), oversized
+  // counts clamp — exactly like the bench-side knobs and the intra-run
+  // servicing lanes.
+  return env_threads();
 }
 
 TaskExecutor::TaskExecutor(std::size_t threads)
-    : threads_(threads == 0 ? std::max<std::size_t>(
-                                  1, std::thread::hardware_concurrency())
-                            : threads) {
+    : threads_(clamp_thread_count(threads, "worker count")) {
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
 }
 

@@ -8,10 +8,13 @@
 // back loudly instead.
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
 namespace uvmsim {
 
@@ -31,6 +34,33 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t def) {
     return def;
   }
   return static_cast<std::uint64_t>(n);
+}
+
+/// Upper bound on any user-supplied thread / lane count. High enough for
+/// every real machine, low enough that a typo'd UVMSIM_THREADS=10000 cannot
+/// spawn ten thousand workers.
+inline constexpr std::uint64_t kMaxThreadCount = 256;
+
+/// The single thread-count resolution rule, shared by the sweep executor
+/// and the intra-run servicing lanes: 0 means "use hardware concurrency",
+/// anything above kMaxThreadCount warns on stderr and clamps. `what` names
+/// the knob in the warning (e.g. "UVMSIM_THREADS").
+inline std::size_t clamp_thread_count(std::uint64_t n, const char* what) {
+  if (n == 0) {
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (n > kMaxThreadCount) {
+    std::cerr << "uvmsim: clamping " << what << "=" << n << " to "
+              << kMaxThreadCount << "\n";
+    return static_cast<std::size_t>(kMaxThreadCount);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+/// Reads UVMSIM_THREADS with the shared validation + clamp. Unset (or
+/// invalid) means 1 = serial; 0 means hardware concurrency.
+inline std::size_t env_threads() {
+  return clamp_thread_count(env_u64("UVMSIM_THREADS", 1), "UVMSIM_THREADS");
 }
 
 }  // namespace uvmsim

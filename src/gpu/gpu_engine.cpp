@@ -116,7 +116,13 @@ void GpuEngine::dispatch_blocks() {
 }
 
 void GpuEngine::schedule_step(WarpRef ref, SimDuration delay) {
-  eq_->schedule_in(delay, [this, ref] { step_warp(ref); });
+  // Pack (kernel, warp) into one word so the closure is 16 bytes and fits
+  // std::function's small buffer — this event fires once per warp step, and
+  // the unpacked 24-byte capture heap-allocated every time.
+  const std::uint64_t packed = (ref.kernel << 32) | ref.warp;
+  eq_->schedule_in(delay, [this, packed] {
+    step_warp(WarpRef{packed >> 32, static_cast<std::uint32_t>(packed)});
+  });
 }
 
 void GpuEngine::step_warp(WarpRef ref) {

@@ -9,6 +9,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/constants.h"
@@ -17,26 +19,57 @@ namespace uvmsim {
 
 class Utlb {
  public:
-  explicit Utlb(std::uint32_t entries = 64) : slots_(entries, kEmpty) {}
+  explicit Utlb(std::uint32_t entries = 64)
+      : slots_(entries, kEmpty), slot_epoch_(entries, 0) {
+    tags_.reserve(2 * entries);
+  }
 
   /// True if the big page containing `p` has a cached translation.
   [[nodiscard]] bool lookup(VirtPage p) const {
-    std::uint64_t tag = tag_of(p);
-    for (std::uint64_t s : slots_) {
-      if (s == tag) return true;
-    }
-    return false;
+    // Membership mirror of the slots_ ring: O(1) instead of scanning every
+    // slot — this runs once per lane per warp step, the hottest loop in the
+    // simulator. The map's iteration order never matters (replacement is
+    // driven by the ring), so determinism is unaffected.
+    auto it = tags_.find(tag_of(p));
+    return it != tags_.end() && it->second.epoch == epoch_ &&
+           it->second.copies > 0;
   }
 
   /// Installs a translation (round-robin replacement).
   void insert(VirtPage p) {
+    if (slots_[next_] != kEmpty && slot_epoch_[next_] == epoch_) {
+      auto it = tags_.find(slots_[next_]);
+      // The same tag can occupy several slots (re-inserted after its first
+      // copy aged but before it was evicted); membership ends only when the
+      // last copy leaves the ring.
+      if (it != tags_.end() && it->second.epoch == epoch_ &&
+          it->second.copies > 0) {
+        --it->second.copies;
+      }
+    }
     slots_[next_] = tag_of(p);
+    slot_epoch_[next_] = epoch_;
+    Entry& e = tags_[tag_of(p)];
+    if (e.epoch != epoch_) e = Entry{epoch_, 0};
+    ++e.copies;
     next_ = (next_ + 1) % slots_.size();
+    // Dead entries (old epoch, or all copies aged out of the ring)
+    // accumulate; prune once they outnumber the ring. Live entries are
+    // bounded by the ring size, so this shrinks below the threshold and
+    // stays amortized O(1) per insert.
+    if (tags_.size() > 2 * slots_.size()) {
+      for (auto it = tags_.begin(); it != tags_.end();) {
+        const bool live = it->second.epoch == epoch_ && it->second.copies > 0;
+        it = live ? std::next(it) : tags_.erase(it);
+      }
+    }
   }
 
-  /// Drops every entry (driver-issued TLB invalidate).
+  /// Drops every entry (driver-issued TLB invalidate). Epoch bump: slots
+  /// written under an older epoch are dead without touching them — the
+  /// driver invalidates every SM's µTLB on every eviction, so this is hot.
   void invalidate_all() {
-    for (auto& s : slots_) s = kEmpty;
+    ++epoch_;
     ++invalidations_;
   }
 
@@ -46,7 +79,15 @@ class Utlb {
   static constexpr std::uint64_t kEmpty = ~0ULL;
   static std::uint64_t tag_of(VirtPage p) { return p / kPagesPerBigPage; }
 
+  struct Entry {
+    std::uint64_t epoch = 0;
+    std::uint32_t copies = 0;
+  };
+
   std::vector<std::uint64_t> slots_;
+  std::vector<std::uint64_t> slot_epoch_;
+  std::unordered_map<std::uint64_t, Entry> tags_;
+  std::uint64_t epoch_ = 0;
   std::size_t next_ = 0;
   std::uint64_t invalidations_ = 0;
 };

@@ -4,59 +4,6 @@
 
 namespace uvmsim {
 
-namespace {
-
-// All-ones below bit `b` (b in [0, 64]).
-constexpr std::uint64_t low_mask(std::uint32_t b) {
-  return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
-}
-
-}  // namespace
-
-UVMSIM_HOT std::uint32_t PageMask::count_range(std::uint32_t lo, std::uint32_t hi) const {
-  if (lo >= hi) return 0;
-  const std::uint32_t wlo = lo / kWordBits;
-  const std::uint32_t whi = (hi - 1) / kWordBits;
-  // Mask off bits below lo in the first word and at/above hi in the last.
-  if (wlo == whi) {
-    const std::uint64_t w =
-        words_[wlo] & low_mask(hi - wlo * kWordBits) & ~low_mask(lo % kWordBits);
-    return static_cast<std::uint32_t>(std::popcount(w));
-  }
-  std::uint32_t n = static_cast<std::uint32_t>(
-      std::popcount(words_[wlo] & ~low_mask(lo % kWordBits)));
-  for (std::uint32_t w = wlo + 1; w < whi; ++w) {
-    n += static_cast<std::uint32_t>(std::popcount(words_[w]));
-  }
-  n += static_cast<std::uint32_t>(
-      std::popcount(words_[whi] & low_mask(hi - whi * kWordBits)));
-  return n;
-}
-
-UVMSIM_HOT void PageMask::set_range(std::uint32_t lo, std::uint32_t hi) {
-  if (lo >= hi) return;
-  const std::uint32_t wlo = lo / kWordBits;
-  const std::uint32_t whi = (hi - 1) / kWordBits;
-  if (wlo == whi) {
-    words_[wlo] |= low_mask(hi - wlo * kWordBits) & ~low_mask(lo % kWordBits);
-    return;
-  }
-  words_[wlo] |= ~low_mask(lo % kWordBits);
-  for (std::uint32_t w = wlo + 1; w < whi; ++w) words_[w] = ~std::uint64_t{0};
-  words_[whi] |= low_mask(hi - whi * kWordBits);
-}
-
-UVMSIM_HOT std::uint32_t PageMask::find_next_set(std::uint32_t from) const {
-  if (from >= kBits) return kBits;
-  std::uint32_t w = from / kWordBits;
-  std::uint64_t word = words_[w] & ~low_mask(from % kWordBits);
-  while (word == 0) {
-    if (++w == kWords) return kBits;
-    word = words_[w];
-  }
-  return w * kWordBits + static_cast<std::uint32_t>(std::countr_zero(word));
-}
-
 UVMSIM_HOT std::uint32_t PageMask::find_next_clear(std::uint32_t from) const {
   if (from >= kBits) return kBits;
   std::uint32_t w = from / kWordBits;

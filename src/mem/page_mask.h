@@ -27,6 +27,9 @@ class PageMask {
   [[nodiscard]] bool test(std::uint32_t i) const {
     return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
   }
+  /// Raw storage word `w` (bits [w*64, w*64+64)); the word-at-a-time scans
+  /// in the lane pipeline build on this instead of per-bit test() loops.
+  [[nodiscard]] std::uint64_t word(std::uint32_t w) const { return words_[w]; }
   void set(std::uint32_t i) { words_[i / kWordBits] |= bit(i); }
   void reset(std::uint32_t i) { words_[i / kWordBits] &= ~bit(i); }
   void set_all() { words_.fill(~std::uint64_t{0}); }
@@ -45,7 +48,10 @@ class PageMask {
   }
   [[nodiscard]] bool none() const { return !any(); }
 
-  /// Number of set bits within [lo, hi).
+  /// Number of set bits within [lo, hi). Defined inline below: the
+  /// prefetcher's density walk and the service path's mask accounting call
+  /// this millions of times per run, and the call itself outweighed the
+  /// popcounts when it lived out of line.
   [[nodiscard]] std::uint32_t count_range(std::uint32_t lo, std::uint32_t hi) const;
 
   /// Sets all bits in [lo, hi).
@@ -180,8 +186,61 @@ class PageMask {
   static constexpr std::uint64_t bit(std::uint32_t i) {
     return std::uint64_t{1} << (i % kWordBits);
   }
+  /// All-ones below bit `b` (b in [0, 64]).
+  static constexpr std::uint64_t low_mask(std::uint32_t b) {
+    return b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1;
+  }
 
   std::array<std::uint64_t, kWords> words_{};
 };
+
+// The three hottest range helpers live here so every caller inlines them —
+// the prefetcher's density walk alone issues millions of count_range calls
+// per run and the out-of-line call overhead dominated the popcounts.
+
+inline std::uint32_t PageMask::count_range(std::uint32_t lo,
+                                           std::uint32_t hi) const {
+  if (lo >= hi) return 0;
+  const std::uint32_t wlo = lo / kWordBits;
+  const std::uint32_t whi = (hi - 1) / kWordBits;
+  // Mask off bits below lo in the first word and at/above hi in the last.
+  if (wlo == whi) {
+    const std::uint64_t w =
+        words_[wlo] & low_mask(hi - wlo * kWordBits) & ~low_mask(lo % kWordBits);
+    return static_cast<std::uint32_t>(std::popcount(w));
+  }
+  std::uint32_t n = static_cast<std::uint32_t>(
+      std::popcount(words_[wlo] & ~low_mask(lo % kWordBits)));
+  for (std::uint32_t w = wlo + 1; w < whi; ++w) {
+    n += static_cast<std::uint32_t>(std::popcount(words_[w]));
+  }
+  n += static_cast<std::uint32_t>(
+      std::popcount(words_[whi] & low_mask(hi - whi * kWordBits)));
+  return n;
+}
+
+inline void PageMask::set_range(std::uint32_t lo, std::uint32_t hi) {
+  if (lo >= hi) return;
+  const std::uint32_t wlo = lo / kWordBits;
+  const std::uint32_t whi = (hi - 1) / kWordBits;
+  if (wlo == whi) {
+    words_[wlo] |= low_mask(hi - wlo * kWordBits) & ~low_mask(lo % kWordBits);
+    return;
+  }
+  words_[wlo] |= ~low_mask(lo % kWordBits);
+  for (std::uint32_t w = wlo + 1; w < whi; ++w) words_[w] = ~std::uint64_t{0};
+  words_[whi] |= low_mask(hi - whi * kWordBits);
+}
+
+inline std::uint32_t PageMask::find_next_set(std::uint32_t from) const {
+  if (from >= kBits) return kBits;
+  std::uint32_t w = from / kWordBits;
+  std::uint64_t word = words_[w] & ~low_mask(from % kWordBits);
+  while (word == 0) {
+    if (++w == kWords) return kBits;
+    word = words_[w];
+  }
+  return w * kWordBits + static_cast<std::uint32_t>(std::countr_zero(word));
+}
 
 }  // namespace uvmsim

@@ -52,6 +52,14 @@ class LogHistogram {
   /// bucket.
   [[nodiscard]] std::string to_string() const;
 
+  /// Merges another histogram into this one. Bucket counts are add-order
+  /// independent, so folding per-lane histograms in lane order reproduces
+  /// the serial add sequence's state exactly.
+  void merge(const LogHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+  }
+
  private:
   static constexpr int kBuckets = 65;  // bucket 0 = [0,1), bucket i = [2^(i-1), 2^i)
   std::uint64_t buckets_[kBuckets] = {};

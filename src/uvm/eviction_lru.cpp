@@ -2,31 +2,72 @@
 
 namespace uvmsim {
 
+std::uint32_t LruEviction::acquire_node() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    nodes_[idx] = Node{};
+    return idx;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void LruEviction::link_front(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = idx;
+  head_ = idx;
+  if (tail_ == kNil) tail_ = idx;
+}
+
+void LruEviction::unlink(std::uint32_t idx) {
+  const Node& n = nodes_[idx];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+}
+
 void LruEviction::on_slice_allocated(SliceKey k) {
-  auto it = pos_.find(k.packed());
-  if (it != pos_.end()) {
+  const auto [it, inserted] = pos_.try_emplace(k.packed(), kNil);
+  if (!inserted) {
     // Re-allocation of a tracked slice: treat as a touch.
     promote(k);
     return;
   }
-  list_.push_front(k);
-  pos_.emplace(k.packed(), Pos{list_.begin(), false});
+  const std::uint32_t idx = acquire_node();
+  nodes_[idx].key = k;
+  it->second = idx;
+  link_front(idx);
 }
 
 void LruEviction::on_slice_touched(SliceKey k) { promote(k); }
 
 void LruEviction::promote(SliceKey k) {
-  auto it = pos_.find(k.packed());
+  const auto it = pos_.find(k.packed());
   if (it == pos_.end()) return;
-  list_.splice(list_.begin(), list_, it->second.it);
+  const std::uint32_t idx = it->second;
+  if (head_ != idx) {
+    unlink(idx);
+    link_front(idx);
+  }
   // A touched slice is active again; let the next scan reclassify it.
-  it->second.parked = false;
+  nodes_[idx].parked = false;
 }
 
 void LruEviction::on_slice_evicted(SliceKey k) {
-  auto it = pos_.find(k.packed());
+  const auto it = pos_.find(k.packed());
   if (it == pos_.end()) return;
-  list_.erase(it->second.it);
+  unlink(it->second);
+  free_.push_back(it->second);
   pos_.erase(it);
 }
 
@@ -34,9 +75,9 @@ std::optional<SliceKey> LruEviction::pick_victim(
     const std::function<bool(SliceKey)>& eligible) {
   // Scan from the LRU end for the first eligible slice.
   last_scan_len_ = 0;
-  for (auto it = list_.rbegin(); it != list_.rend(); ++it) {
+  for (std::uint32_t i = tail_; i != kNil; i = nodes_[i].prev) {
     ++last_scan_len_;
-    if (eligible(*it)) return *it;
+    if (eligible(nodes_[i].key)) return nodes_[i].key;
   }
   return std::nullopt;
 }
@@ -45,22 +86,22 @@ std::optional<SliceKey> LruEviction::pick_victim_classified(
     const std::function<VictimEligibility(SliceKey)>& classify) {
   last_scan_len_ = 0;
   std::optional<SliceKey> fallback;
-  for (auto it = list_.rbegin(); it != list_.rend(); ++it) {
-    Pos& p = pos_.find(it->packed())->second;
-    if (p.parked) continue;  // checked-ineligible earlier this round
+  for (std::uint32_t i = tail_; i != kNil; i = nodes_[i].prev) {
+    Node& n = nodes_[i];
+    if (n.parked) continue;  // checked-ineligible earlier this round
     ++last_scan_len_;
-    switch (classify(*it)) {
+    switch (classify(n.key)) {
       case VictimEligibility::Preferred:
-        return *it;
+        return n.key;
       case VictimEligibility::Eligible:
-        if (!fallback) fallback = *it;
+        if (!fallback) fallback = n.key;
         break;
       case VictimEligibility::Ineligible:
         if (in_round_) {
           // Mark in place — the node never moves, so LRU order stays exact
           // even if the round ends mid-scan with eligible slices ahead.
-          p.parked = true;
-          parked_keys_.push_back(it->packed());
+          n.parked = true;
+          parked_.push_back(i);
         }
         break;
     }
@@ -72,13 +113,11 @@ void LruEviction::begin_victim_round() { in_round_ = true; }
 
 void LruEviction::end_victim_round() {
   in_round_ = false;
-  // Nodes were never moved; just clear the skip marks. Keys whose slice was
-  // evicted mid-round are simply gone from pos_.
-  for (std::uint64_t key : parked_keys_) {
-    auto it = pos_.find(key);
-    if (it != pos_.end()) it->second.parked = false;
-  }
-  parked_keys_.clear();
+  // Nodes were never moved; just clear the skip marks. A node whose slice
+  // was evicted mid-round may have been recycled already — its parked flag
+  // reset on reuse, so clearing it again is a harmless no-op.
+  for (std::uint32_t idx : parked_) nodes_[idx].parked = false;
+  parked_.clear();
 }
 
 }  // namespace uvmsim

@@ -13,12 +13,17 @@
 // marks checked-ineligible slices in place so subsequent scans in the round
 // skip them without reclassifying; nodes are never moved, so the observable
 // eviction order is unchanged no matter when the round ends.
+//
+// Representation: an intrusive doubly-linked list over a recycling node
+// pool. Promotes and evictions are index relinks with no per-insert heap
+// allocation, and victim scans chase 32-bit indices through one contiguous
+// vector instead of list-node pointers — the promote/scan pair sits on the
+// driver's hot servicing path at full scale.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -48,7 +53,12 @@ class LruEviction : public EvictionPolicy {
 
   /// MRU-to-LRU snapshot (tests / analysis).
   [[nodiscard]] std::vector<SliceKey> order() const {
-    return {list_.begin(), list_.end()};
+    std::vector<SliceKey> out;
+    out.reserve(pos_.size());
+    for (std::uint32_t i = head_; i != kNil; i = nodes_[i].next) {
+      out.push_back(nodes_[i].key);
+    }
+    return out;
   }
 
  protected:
@@ -56,16 +66,30 @@ class LruEviction : public EvictionPolicy {
   void promote(SliceKey k);
 
  private:
-  struct Pos {
-    std::list<SliceKey>::iterator it;
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  struct Node {
+    SliceKey key;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
     bool parked = false;  ///< checked-ineligible this round; scans skip it
   };
 
-  std::list<SliceKey> list_;    ///< front = MRU, back = LRU
-  /// Keys marked parked during the current victim round, so
+  /// Pops a recycled node (reset to defaults) or grows the pool.
+  std::uint32_t acquire_node();
+  /// Links an unlinked node at the MRU end.
+  void link_front(std::uint32_t idx);
+  /// Removes a node from the list without releasing it.
+  void unlink(std::uint32_t idx);
+
+  std::vector<Node> nodes_;          ///< node pool; indices stay stable
+  std::vector<std::uint32_t> free_;  ///< recycled node indices
+  /// Node indices marked parked during the current victim round, so
   /// end_victim_round() resets the flags in O(parked).
-  std::vector<std::uint64_t> parked_keys_;
-  std::unordered_map<std::uint64_t, Pos> pos_;
+  std::vector<std::uint32_t> parked_;
+  std::unordered_map<std::uint64_t, std::uint32_t> pos_;  ///< packed -> node
+  std::uint32_t head_ = kNil;  ///< MRU
+  std::uint32_t tail_ = kNil;  ///< LRU
   bool in_round_ = false;
   std::size_t last_scan_len_ = 0;
 };

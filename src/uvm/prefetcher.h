@@ -39,6 +39,15 @@ class Prefetcher {
   static Result compute(const VaBlock& block, const PageMask& faulted,
                         bool big_page_upgrade,
                         std::uint32_t threshold_percent);
+
+  /// Word-level equivalent of compute(): identical Result for every input,
+  /// but built on popcount range scans over a live occupancy mask instead of
+  /// materializing the 1023-node density tree per call. The lane pipeline's
+  /// bin-plan precompute uses this; the serial pass keeps compute() as the
+  /// reference implementation (prefetcher_test cross-checks the two).
+  static Result compute_fast(const VaBlock& block, const PageMask& faulted,
+                             bool big_page_upgrade,
+                             std::uint32_t threshold_percent);
 };
 
 }  // namespace uvmsim

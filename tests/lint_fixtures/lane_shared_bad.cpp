@@ -1,0 +1,25 @@
+// Fixture: a servicing-lane body mutates shared state — a by-reference
+// capture and a member — instead of filling a per-lane accumulator.
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename F>
+  void for_lanes(std::size_t n, std::size_t lanes, F&& body);
+};
+
+struct Binner {
+  std::vector<int> bins_;
+  unsigned long total_ = 0;
+
+  void bin(Pool& pool, const std::vector<int>& pages) {
+    unsigned long shared_sum = 0;
+    pool.for_lanes(pages.size(), 4,
+                   [&](std::size_t lane, std::size_t b, std::size_t e) {
+                     for (std::size_t i = b; i < e; ++i) {
+                       shared_sum += pages[i];  // racy cross-lane write
+                       total_ += 1;             // member write from a lane
+                     }
+                   });
+  }
+};

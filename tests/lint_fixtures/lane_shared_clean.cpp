@@ -1,0 +1,32 @@
+// Fixture: lanes fill per-lane accumulators (disjoint slots, lane-local
+// writes only); the caller merges serially in lane order. The one
+// out-of-lane write that remains — the gather into the preallocated per-lane
+// slot — carries the typed suppression the merge step is allowed.
+#include <cstddef>
+#include <vector>
+
+struct Pool {
+  template <typename F>
+  void for_lanes(std::size_t n, std::size_t lanes, F&& body);
+};
+
+struct Acc {
+  unsigned long sum = 0;
+  void merge(const Acc& o) { sum += o.sum; }
+};
+
+unsigned long bin(Pool& pool, const std::vector<int>& pages) {
+  std::vector<Acc> per_lane(4);
+  pool.for_lanes(pages.size(), 4,
+                 [&](std::size_t lane, std::size_t b, std::size_t e) {
+                   Acc local;
+                   for (std::size_t i = b; i < e; ++i) {
+                     local.sum += static_cast<unsigned long>(pages[i]);
+                   }
+                   // uvmsim-lint: allow(lane-shared-write, "disjoint per-lane slot, written once before the join")
+                   per_lane[lane] = local;
+                 });
+  Acc total;
+  for (const Acc& a : per_lane) total.merge(a);
+  return total.sum;
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/rng.h"
+
 namespace uvmsim {
 namespace {
 
@@ -140,6 +142,43 @@ TEST_P(ThresholdSweep, PrefetchVolumeDecreasesWithThreshold) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
                          ::testing::Values(1u, 26u, 51u, 76u, 100u));
+
+TEST(Prefetcher, ComputeFastMatchesReferenceOnRandomInputs) {
+  // Differential property test for the lane pipeline's word-level
+  // implementation: compute_fast must return the exact Result of the
+  // tree-building reference for every (residency, fault set, block size,
+  // threshold, upgrade) combination. Random sweep over the whole input
+  // space, including partial blocks where the valid clamp matters.
+  Rng rng(2024);
+  const std::uint32_t sizes[] = {kPagesPerBlock, 511, 100, 17, 1};
+  const std::uint32_t thresholds[] = {1, 25, 51, 75, 100, 101};
+  for (int trial = 0; trial < 150; ++trial) {
+    VaBlock b = make_block(sizes[trial % 5]);
+    PageMask faulted;
+    // Residency density varies per trial so both sparse and near-saturated
+    // density trees get exercised.
+    const std::uint64_t resident_pct = rng.next_below(90);
+    for (std::uint32_t p = 0; p < b.num_pages; ++p) {
+      if (rng.next_below(100) < resident_pct) b.gpu_resident.set(p);
+    }
+    for (std::uint32_t p = 0; p < b.num_pages; ++p) {
+      // Driver invariant: the prefetcher sees need = faulted minus mapped.
+      if (!b.gpu_resident.test(p) && rng.next_below(100) < 20) faulted.set(p);
+    }
+    for (std::uint32_t th : thresholds) {
+      for (bool upgrade : {false, true}) {
+        auto ref = Prefetcher::compute(b, faulted, upgrade, th);
+        auto fast = Prefetcher::compute_fast(b, faulted, upgrade, th);
+        ASSERT_EQ(ref.prefetch, fast.prefetch)
+            << "num_pages=" << b.num_pages << " threshold=" << th
+            << " upgrade=" << upgrade << " trial=" << trial;
+        ASSERT_EQ(ref.tree_updates, fast.tree_updates)
+            << "num_pages=" << b.num_pages << " threshold=" << th
+            << " upgrade=" << upgrade << " trial=" << trial;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace uvmsim

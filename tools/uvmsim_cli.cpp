@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/atomic_file.h"
+#include "core/env.h"
 #include "core/errors.h"
 #include "core/metrics.h"
 #include "core/pattern_analyzer.h"
@@ -37,6 +38,15 @@ struct CliOptions {
   std::string workload = "regular";
   std::uint64_t size_mib = 64;
   std::uint64_t gpu_mib = 128;
+  bool size_set = false;  ///< --size-mib given (--full-scale keeps it then)
+  bool gpu_set = false;   ///< --gpu-mib given
+  /// Full-fidelity Titan V preset: 12 GB GPU memory, 80 SMs, and (unless
+  /// overridden) a 16 GiB oversubscribed working set — millions of 4 KB
+  /// pages per run.
+  bool full_scale = false;
+  /// Intra-run servicing lanes; -1 = seed from UVMSIM_THREADS (default 1 =
+  /// serial), 0 = hardware concurrency.
+  std::int64_t lanes = -1;
   std::string backend = "driver";  // driver | gpu
   std::string prefetch = "on";  // on | off | adaptive
   std::uint32_t threshold = 51;
@@ -73,6 +83,13 @@ options:
   --workload NAME      regular|random|sgemm|stream|cufft|tealeaf|hpgmg|cusparse|bfs
   --size-mib N         managed data footprint (default 64)
   --gpu-mib N          simulated GPU memory (default 128)
+  --full-scale         full-fidelity Titan V preset: 12 GB GPU memory,
+                       80 SMs, 16 GiB working set (explicit --size-mib /
+                       --gpu-mib still win); servicing lanes default to
+                       UVMSIM_THREADS
+  --lanes N            intra-run servicing lanes (deterministic: output is
+                       byte-identical for every value); 0 = hardware
+                       concurrency (default: UVMSIM_THREADS, i.e. 1)
   --backend B          driver | gpu — fault-servicing backend: the CPU
                        driver's batched path, or GPUVM-style per-fault
                        GPU-side resolution (default driver)
@@ -149,9 +166,24 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (a == "--size-mib") {
       if (!(v = need_value(i))) return std::nullopt;
       o.size_mib = std::stoull(v);
+      o.size_set = true;
     } else if (a == "--gpu-mib") {
       if (!(v = need_value(i))) return std::nullopt;
       o.gpu_mib = std::stoull(v);
+      o.gpu_set = true;
+    } else if (a == "--full-scale") {
+      o.full_scale = true;
+    } else if (a == "--lanes") {
+      if (!(v = need_value(i))) return std::nullopt;
+      try {
+        o.lanes = std::stoll(v);
+      } catch (const std::exception&) {
+        o.lanes = -2;
+      }
+      if (o.lanes < 0) {
+        std::cerr << "bad --lanes: " << v << " (want a non-negative integer)\n";
+        return std::nullopt;
+      }
     } else if (a == "--backend") {
       if (!(v = need_value(i))) return std::nullopt;
       o.backend = v;
@@ -237,11 +269,24 @@ std::optional<CliOptions> parse(int argc, char** argv) {
 
 std::optional<SimConfig> to_config(const CliOptions& o) {
   SimConfig cfg;
-  cfg.set_gpu_memory(o.gpu_mib << 20);
+  std::uint64_t gpu_mib = o.gpu_mib;
+  if (o.full_scale) {
+    // Titan V fidelity mode (the paper's hardware): 12 GB HBM2, 80 SMs.
+    if (!o.gpu_set) gpu_mib = 12 * 1024;
+    cfg.gpu.num_sms = 80;
+  }
+  cfg.set_gpu_memory(gpu_mib << 20);
   cfg.seed = o.seed;
   cfg.enable_fault_log = o.pattern;
   cfg.driver.batch_size = o.batch_size;
   cfg.driver.prefetch_threshold = o.threshold;
+  // Intra-run lanes: byte-identical output for any value; only wall-clock
+  // changes. Seeded from UVMSIM_THREADS so the sweep knob and the intra-run
+  // knob read the same dial.
+  cfg.driver.service_lanes = static_cast<std::uint32_t>(
+      o.lanes >= 0 ? clamp_thread_count(static_cast<std::uint64_t>(o.lanes),
+                                        "--lanes")
+                   : env_threads());
 
   if (o.backend == "driver") {
     cfg.driver.backend = ServicingBackendKind::DriverCentric;
@@ -360,6 +405,9 @@ int run_cli(int argc, char** argv) {
   // ConfigError / SimulationError from trace parsing or workload lookup
   // propagate to main for the distinct exit codes; only plain open/write
   // failures are handled here as usage errors.
+  std::uint64_t size_mib = opts->size_mib;
+  if (opts->full_scale && !opts->size_set) size_mib = 16 * 1024;
+
   std::unique_ptr<Workload> wl;
   if (!opts->replay_trace.empty()) {
     std::ifstream in(opts->replay_trace);
@@ -370,7 +418,7 @@ int run_cli(int argc, char** argv) {
     wl = std::make_unique<TraceWorkload>(parse_trace(in),
                                          opts->replay_trace);
   } else {
-    wl = make_workload(opts->workload, opts->size_mib << 20);
+    wl = make_workload(opts->workload, size_mib << 20);
   }
   if (!opts->dump_trace.empty()) {
     std::ostringstream out;
@@ -459,7 +507,7 @@ int run_cli(int argc, char** argv) {
   }
 
   if (opts->explicit_baseline) {
-    auto wl2 = make_workload(opts->workload, opts->size_mib << 20);
+    auto wl2 = make_workload(opts->workload, size_mib << 20);
     ExplicitResult ex = ExplicitTransfer::run(*cfg, *wl2);
     std::cout << "\nexplicit-transfer baseline: "
               << format_duration(ex.total) << " (UVM is "
