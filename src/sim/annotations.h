@@ -1,10 +1,28 @@
-// Function annotations shared across the simulator.
+// Function and variable annotations shared across the simulator.
 //
 // UVMSIM_HOT marks functions on the per-fault / per-event critical path.
 // Besides the compiler hint, the marker is load-bearing for tooling:
 // uvmsim_lint forbids heap allocation (hot-alloc) and local container
-// construction (hot-local-container) inside UVMSIM_HOT bodies, so the
-// annotation doubles as an enforced "allocation-free" contract.
+// construction (hot-local-container) inside UVMSIM_HOT bodies, and in
+// project mode (--project) extends the ban transitively: anything
+// reachable from a UVMSIM_HOT entry through the call graph must not
+// allocate, do I/O, read clocks, or draw randomness
+// (hot-transitive-{alloc,io,clock,random}).
+//
+// UVMSIM_ORDERED marks ordering-authority functions: the serial walks
+// whose execution order defines the simulator's observable output (e.g.
+// Driver::service_bin, the per-fault resolve loop). uvmsim_lint's
+// ordered-reads-lane-owned rule forbids code reachable from an
+// UVMSIM_ORDERED entry from reading UVMSIM_LANE_OWNED state before the
+// lane merge point — lane accumulators are only meaningful after the
+// serial lane-order merge.
+//
+// UVMSIM_LANE_OWNED marks per-lane accumulator variables (one slot per
+// servicing lane, written only by that lane, merged serially afterwards).
+// The marker is an escape hatch for lane-capture-escape — writes to a
+// UVMSIM_LANE_OWNED target from a lane body are by-construction private —
+// and the subject of ordered-reads-lane-owned above. The macros expand to
+// nothing; they exist purely as a machine-checked contract.
 #pragma once
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -12,3 +30,6 @@
 #else
 #define UVMSIM_HOT
 #endif
+
+#define UVMSIM_ORDERED
+#define UVMSIM_LANE_OWNED

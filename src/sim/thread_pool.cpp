@@ -5,6 +5,36 @@
 
 namespace uvmsim {
 
+/// Control block for one for_lanes fork-join. Lives in job_slab_ so the
+/// steady-state for_lanes path performs no heap allocation: helpers from a
+/// finished join release their references quickly, and acquire_job recycles
+/// any block only the slab still holds.
+struct ThreadPool::Job {
+  std::atomic<std::size_t> next{0};
+  std::size_t unfinished = 0;  ///< lanes not yet run to completion (mu)
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  ///< first lane failure (mu)
+};
+
+// uvmsim-lint: suppress(hot-transitive-alloc) slab growth is the cold path: it runs once per concurrency level, then every for_lanes reuses an idle Job and allocates nothing
+std::shared_ptr<ThreadPool::Job> ThreadPool::acquire_job() {
+  std::lock_guard lock(mu_);
+  for (auto& slot : job_slab_) {
+    // use_count() == 1 means only the slab references this Job: every
+    // helper of its previous join has released its copy, so recycling
+    // cannot race. A concurrent 2 -> 1 drop merely hides the slot until
+    // the next call — correctness never depends on seeing it.
+    if (slot.use_count() == 1) {
+      slot->next.store(0, std::memory_order_relaxed);
+      slot->error = nullptr;
+      return slot;
+    }
+  }
+  job_slab_.push_back(std::make_shared<Job>());
+  return job_slab_.back();
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -88,14 +118,7 @@ void ThreadPool::for_lanes(
   // the caller claims every lane the workers haven't reached and never
   // blocks on a handoff, so the worst case degrades to the plain serial
   // loop instead of a context-switch ping-pong per lane.
-  struct Job {
-    std::atomic<std::size_t> next{0};
-    std::size_t unfinished;  ///< lanes not yet run to completion (mu)
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;  ///< first lane failure (mu)
-  };
-  auto job = std::make_shared<Job>();
+  std::shared_ptr<Job> job = acquire_job();
   job->unfinished = lanes;
   // `body` lives on the caller's stack; helpers may only dereference it
   // while the caller is parked in the join below. A helper that runs after

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/annotations.h"
+
 namespace uvmsim {
 
 /// Contiguous index range [begin, end) owned by lane `lane` of `lanes` when
@@ -91,13 +93,22 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
+  struct Job;  ///< for_lanes control block, defined in thread_pool.cpp
+
   void worker_loop();
   /// Queues a fire-and-forget helper (no future). Dropped if the pool is
   /// stopping — for_lanes tolerates missing helpers by design.
   void enqueue_detached(std::function<void()> fn);
+  /// Returns an idle Job from the slab (steady state: no allocation), or
+  /// grows the slab by one when every Job is still referenced by a late
+  /// helper of an earlier for_lanes call.
+  std::shared_ptr<Job> acquire_job();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
+  /// Reusable for_lanes control blocks; slots are recycled once only the
+  /// slab itself still references them (mu_).
+  std::vector<std::shared_ptr<Job>> job_slab_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
@@ -118,7 +129,7 @@ Acc lane_reduce(ThreadPool* pool, std::size_t n, std::size_t lanes,
     for (std::size_t i = 0; i < n; ++i) body(acc, i);
     return acc;
   }
-  std::vector<Acc> per_lane;
+  UVMSIM_LANE_OWNED std::vector<Acc> per_lane;
   per_lane.reserve(lanes);
   for (std::size_t l = 0; l < lanes; ++l) per_lane.push_back(make_acc());
   pool->for_lanes(n, lanes, [&](std::size_t lane, std::size_t b, std::size_t e) {

@@ -54,7 +54,7 @@ SimTime DriverCentricBackend::service_pass() {
     // Lane stage: precompute each bin's prefetch plan from pre-walk block
     // state. Lanes touch disjoint plan slots and only read shared state
     // (the walk has not started, so nothing mutates under them).
-    std::vector<BinPlan> plans;
+    UVMSIM_LANE_OWNED std::vector<BinPlan> plans;
     if (pool != nullptr && config().prefetch_enabled &&
         batch.bins.size() > 1) {
       plans.resize(batch.bins.size());

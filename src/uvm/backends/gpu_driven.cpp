@@ -66,8 +66,8 @@ SimTime GpuDrivenBackend::service_pass() {
   return pass_end;
 }
 
-SimTime GpuDrivenBackend::resolve_fault(const FaultEntry& e,
-                                        SimTime engine_start) {
+UVMSIM_HOT UVMSIM_ORDERED SimTime GpuDrivenBackend::resolve_fault(
+    const FaultEntry& e, SimTime engine_start) {
   DriverCounters& ctr = counters();
   const CostModel::GpuDrivenCosts& gd = costs().gpu_driven;
   Driver::Deps& d = deps();
@@ -237,7 +237,8 @@ SimTime GpuDrivenBackend::resolve_fault(const FaultEntry& e,
   return t;
 }
 
-bool GpuDrivenBackend::back_page(VaBlock& blk, std::uint32_t i, SimTime& t) {
+UVMSIM_HOT bool GpuDrivenBackend::back_page(VaBlock& blk, std::uint32_t i,
+                                            SimTime& t) {
   const CostModel::GpuDrivenCosts& gd = costs().gpu_driven;
   const DriverConfig& cfg = config();
   DriverCounters& ctr = counters();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/errors.h"
+#include "sim/annotations.h"
 #include "uvm/access_counter_eviction.h"
 #include "uvm/backends/driver_centric.h"
 #include "uvm/backends/gpu_driven.h"
@@ -182,8 +183,8 @@ void Driver::precompute_plan(const FaultBatch::Bin& bin, BinPlan& out) {
   out.valid = true;
 }
 
-SimTime Driver::service_bin(const FaultBatch::Bin& bin, SimTime t,
-                            const BinPlan* plan) {
+UVMSIM_ORDERED SimTime Driver::service_bin(const FaultBatch::Bin& bin,
+                                           SimTime t, const BinPlan* plan) {
   VaBlock& blk = d_.as->block(bin.block);
   ++counters_.blocks_serviced;
   blk.service_locked = true;

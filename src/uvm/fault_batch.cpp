@@ -63,7 +63,7 @@ void Preprocessor::shard_bins(std::vector<FaultEntry>& entries,
   // from the global one only in how duplicates split across lanes — the
   // merged masks (set union), entry sums, and access-type ORs are partition-
   // independent, and the global duplicate count falls out of the union size.
-  std::vector<FaultBatch> lane_bins(lanes);
+  UVMSIM_LANE_OWNED std::vector<FaultBatch> lane_bins(lanes);
   pool.for_lanes(
       entries.size(), lanes,
       [&](std::size_t lane, std::size_t begin, std::size_t end) {

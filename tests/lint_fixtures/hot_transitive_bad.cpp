@@ -1,0 +1,23 @@
+// Bad: heap allocation two calls below a UVMSIM_HOT entry. The per-file
+// hot-alloc rule cannot see it (stage_two is not itself annotated); only
+// the project pass's call-graph reachability catches it, and the finding
+// must carry the full chain hot_entry -> stage_one -> stage_two.
+#include <memory>
+
+namespace fix {
+
+struct Widget {
+  int v = 0;
+};
+
+int stage_two(int n) {
+  auto w = std::make_shared<Widget>();
+  w->v = n;
+  return w->v;
+}
+
+int stage_one(int n) { return stage_two(n + 1); }
+
+UVMSIM_HOT int hot_entry(int n) { return stage_one(n); }
+
+}  // namespace fix

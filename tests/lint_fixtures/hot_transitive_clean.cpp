@@ -1,0 +1,23 @@
+// Clean: the hot chain writes into caller-provided storage and never
+// allocates. cold_path() does allocate, but it is not reachable from any
+// UVMSIM_HOT entry — reachability, not file proximity, decides.
+#include <memory>
+
+namespace fix {
+
+struct Widget {
+  int v = 0;
+};
+
+int stage_two(int* slot, int n) {
+  *slot = n;
+  return *slot;
+}
+
+int stage_one(int* slot, int n) { return stage_two(slot, n + 1); }
+
+UVMSIM_HOT int hot_entry(int* slot, int n) { return stage_one(slot, n); }
+
+std::shared_ptr<Widget> cold_path() { return std::make_shared<Widget>(); }
+
+}  // namespace fix

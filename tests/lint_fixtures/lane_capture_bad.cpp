@@ -1,0 +1,23 @@
+// Bad: a for_lanes lane body mutates captured shared state (`total_`, a
+// member) that is neither lane-indexed, std::atomic, nor declared
+// UVMSIM_LANE_OWNED — lanes race on it and the sum depends on scheduling.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+struct Pool {
+  void for_lanes(std::size_t n, std::size_t lanes, const void* body);
+};
+
+struct Stats {
+  void run(Pool& pool, const std::vector<int>& items) {
+    pool.for_lanes(items.size(), 4,
+                   [&](std::size_t lane, std::size_t b, std::size_t e) {
+                     for (std::size_t i = b; i < e; ++i) total_ += items[i];
+                   });
+  }
+  long total_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,27 @@
+// Clean: each lane writes only its own UVMSIM_LANE_OWNED, lane-indexed
+// slot; the accumulators merge serially in lane order after the join.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+struct Pool {
+  void for_lanes(std::size_t n, std::size_t lanes, const void* body);
+};
+
+struct Stats {
+  void run(Pool& pool, const std::vector<int>& items) {
+    UVMSIM_LANE_OWNED std::vector<long> sums;
+    sums.resize(4);
+    pool.for_lanes(items.size(), 4,
+                   [&](std::size_t lane, std::size_t b, std::size_t e) {
+                     for (std::size_t i = b; i < e; ++i) {
+                       sums[lane] += items[i];
+                     }
+                   });
+    for (std::size_t l = 0; l < 4; ++l) total_ += sums[l];
+  }
+  long total_ = 0;
+};
+
+}  // namespace fix

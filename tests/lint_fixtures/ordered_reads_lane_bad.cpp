@@ -1,0 +1,22 @@
+// Bad: the UVMSIM_ORDERED serial walk consumes UVMSIM_LANE_OWNED
+// accumulators (through a helper, two frames down) before any merge point
+// — the lanes may not have joined, so the read races and its value depends
+// on scheduling.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+struct Servicer {
+  UVMSIM_LANE_OWNED std::vector<long> lane_totals_;
+
+  long peek(std::size_t lane) { return lane_totals_[lane]; }
+
+  UVMSIM_ORDERED long walk(std::size_t n) {
+    long acc = 0;
+    for (std::size_t i = 0; i < n; ++i) acc += peek(i);
+    return acc;
+  }
+};
+
+}  // namespace fix

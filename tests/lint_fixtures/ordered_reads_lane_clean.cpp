@@ -1,0 +1,25 @@
+// Clean: the ordered walk merges the lane accumulators first (serially,
+// in lane order); reads of UVMSIM_LANE_OWNED state after the merge point
+// are the intended consumption.
+#include <cstddef>
+#include <vector>
+
+namespace fix {
+
+struct Servicer {
+  UVMSIM_LANE_OWNED std::vector<long> lane_totals_;
+  long merged_ = 0;
+
+  void merge_lanes() {
+    for (std::size_t l = 0; l < lane_totals_.size(); ++l) {
+      merged_ += lane_totals_[l];
+    }
+  }
+
+  UVMSIM_ORDERED long walk() {
+    merge_lanes();
+    return merged_ + static_cast<long>(lane_totals_.size());
+  }
+};
+
+}  // namespace fix

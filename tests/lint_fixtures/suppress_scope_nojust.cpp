@@ -1,0 +1,6 @@
+// A scoped suppression without a justification is rejected AND does not
+// silence the underlying finding.
+#include <cstdlib>
+
+// uvmsim-lint: suppress(banned-random)
+int noisy_fallback() { return std::rand(); }

@@ -1,0 +1,4 @@
+// A scoped suppression naming a rule that does not exist is itself a
+// finding (and suppresses nothing).
+// uvmsim-lint: suppress(not-a-real-rule) this justification cannot save it
+int harmless() { return 42; }

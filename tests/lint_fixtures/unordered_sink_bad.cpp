@@ -1,0 +1,20 @@
+// Bad: range-for over an unordered container whose body reaches output —
+// directly (printf) and through a helper that prints. Hash order leaks
+// straight into what the user sees.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace fix {
+
+void emit(const std::string& key, int value) {
+  std::printf("%s=%d\n", key.c_str(), value);
+}
+
+void dump(const std::unordered_map<std::string, int>& counts) {
+  for (const auto& kv : counts) {
+    emit(kv.first, kv.second);
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,28 @@
+// Clean: iterating the unordered container only to accumulate an
+// order-independent value is fine; output happens from a sorted copy.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fix {
+
+long total(const std::unordered_map<std::string, int>& counts) {
+  long sum = 0;
+  for (const auto& kv : counts) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+void dump(const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::pair<std::string, int>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& kv : rows) {
+    std::printf("%s=%d\n", kv.first.c_str(), kv.second);
+  }
+}
+
+}  // namespace fix

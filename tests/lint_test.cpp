@@ -130,6 +130,24 @@ TEST(LintSuppressions, MissingJustificationIsRejected) {
   EXPECT_TRUE(rules.count("banned-random")) << describe(fs);
 }
 
+TEST(LintSuppressions, FunctionScopeSuppressionCoversWholeBody) {
+  // Two violations, one suppress(...) comment before the signature.
+  expect_clean({"suppress_scope_ok.cpp"});
+}
+
+TEST(LintSuppressions, FunctionScopeUnknownRuleIsRejected) {
+  expect_only_rule({"suppress_scope_unknown.cpp"}, "suppression-unknown-rule");
+}
+
+TEST(LintSuppressions, FunctionScopeMissingJustificationIsRejected) {
+  const std::vector<Finding> fs = lint({"suppress_scope_nojust.cpp"});
+  std::set<std::string> rules;
+  for (const auto& f : fs) rules.insert(f.rule);
+  EXPECT_TRUE(rules.count("suppression-missing-justification"))
+      << describe(fs);
+  EXPECT_TRUE(rules.count("banned-random")) << describe(fs);
+}
+
 TEST(LintRules, TableIsCompleteAndCategorized) {
   const auto& rules = uvmsim::lint::all_rules();
   EXPECT_GE(rules.size(), 16u);
@@ -155,7 +173,8 @@ TEST(LintJson, FindingsSerializeWithStableShape) {
   std::ostringstream os;
   uvmsim::lint::write_findings_json(os, fs);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\":\"banned-random:"), std::string::npos) << json;
   EXPECT_NE(json.find("\"count\":" + std::to_string(fs.size())),
             std::string::npos)
       << json;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "callgraph.h"
+#include "dataflow.h"
+#include "index.h"
 #include "lexer.h"
 #include "rules.h"
 
@@ -33,6 +37,7 @@ struct FileData {
   LexedFile lx;
   std::string display;  ///< normalized path used in findings
   std::string key;      ///< canonical path used for include resolution
+  std::uint64_t hash = 0;  ///< FNV-1a of the raw bytes (index cache key)
   bool is_header = false;
   std::vector<std::pair<std::string, int>> project_includes;  ///< "x/y.h",line
   std::set<std::string> system_includes;                      ///< "vector",...
@@ -185,12 +190,92 @@ void collect_unordered_names(FileData& fd) {
 // with a mandatory justification, covering that line and the next.
 // ---------------------------------------------------------------------------
 
+struct ScopeRange {
+  std::string rule;
+  int begin = 0;  ///< first covered line, inclusive
+  int end = 0;    ///< last covered line, inclusive
+};
+
 struct Suppressions {
   std::map<int, std::set<std::string>> by_line;
+  /// suppress(rule) comments, keyed by the comment's line; resolved to
+  /// function extents once the file's symbol index exists.
+  std::vector<std::pair<int, std::string>> scoped_pending;
+  std::vector<ScopeRange> scoped;
 };
+
+bool is_suppressed(const Suppressions& sup, const std::string& rule,
+                   int line) {
+  const auto it = sup.by_line.find(line);
+  if (it != sup.by_line.end() && it->second.count(rule)) return true;
+  for (const ScopeRange& r : sup.scoped) {
+    if (r.rule == rule && line >= r.begin && line <= r.end) return true;
+  }
+  return false;
+}
+
+/// Maps each pending suppress(rule) comment to the extent of the function
+/// whose signature starts on the following line. When no function matches,
+/// the suppression degrades to covering the comment line and the next one
+/// (same reach as allow), so a stray comment can never widen coverage.
+void resolve_scoped(Suppressions& sup, const FileIndex& fi) {
+  for (const auto& [cline, rule] : sup.scoped_pending) {
+    bool matched = false;
+    for (const IndexedSymbol& s : fi.symbols) {
+      if (s.is_lambda) continue;
+      if (cline + 1 >= s.decl_line && cline + 1 <= s.name_line &&
+          s.body_end_line >= s.decl_line) {
+        sup.scoped.push_back({rule, s.decl_line, s.body_end_line});
+        matched = true;
+      }
+    }
+    if (!matched) sup.scoped.push_back({rule, cline, cline + 1});
+  }
+  sup.scoped_pending.clear();
+}
 
 bool rule_id_char(char c) {
   return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+void parse_scope_suppressions(const FileData& fd, const SideText& c,
+                              Suppressions& sup, std::vector<Finding>& meta) {
+  std::size_t pos = 0;
+  while (true) {
+    pos = c.text.find("suppress(", pos);
+    if (pos == std::string::npos) break;
+    pos += 9;
+    while (pos < c.text.size() && c.text[pos] == ' ') ++pos;
+    std::string id;
+    while (pos < c.text.size() && rule_id_char(c.text[pos])) {
+      id += c.text[pos++];
+    }
+    while (pos < c.text.size() && c.text[pos] == ' ') ++pos;
+    if (pos >= c.text.size() || c.text[pos] != ')') continue;
+    ++pos;
+    if (!is_known_rule(id) || is_meta_rule(id)) {
+      meta.push_back({fd.display, c.line, "suppression-unknown-rule", "meta",
+                      "suppression names unknown rule '" + id +
+                          "'; see uvmsim_lint --list-rules",
+                      ""});
+      continue;
+    }
+    // Justification: the rest of the comment text (minus a block-comment
+    // terminator), mandatory and non-empty.
+    std::string rest = c.text.substr(pos);
+    const std::size_t endc = rest.rfind("*/");
+    if (endc != std::string::npos) rest = rest.substr(0, endc);
+    if (trim(rest).empty()) {
+      meta.push_back({fd.display, c.line,
+                      "suppression-missing-justification", "meta",
+                      "suppression of '" + id +
+                          "' lacks the mandatory justification: suppress(" +
+                          id + ") why this is safe",
+                      ""});
+      continue;
+    }
+    sup.scoped_pending.emplace_back(c.line, id);
+  }
 }
 
 void parse_suppressions(const FileData& fd, Suppressions& sup,
@@ -198,6 +283,7 @@ void parse_suppressions(const FileData& fd, Suppressions& sup,
   for (const SideText& c : fd.lx.comments) {
     const std::size_t tag = c.text.find("uvmsim-lint:");
     if (tag == std::string::npos) continue;
+    parse_scope_suppressions(fd, c, sup, meta);
     std::size_t pos = tag;
     while (true) {
       pos = c.text.find("allow(", pos);
@@ -212,7 +298,8 @@ void parse_suppressions(const FileData& fd, Suppressions& sup,
       if (!is_known_rule(id) || is_meta_rule(id)) {
         meta.push_back({fd.display, c.line, "suppression-unknown-rule", "meta",
                         "suppression names unknown rule '" + id +
-                            "'; see uvmsim_lint --list-rules"});
+                            "'; see uvmsim_lint --list-rules",
+                        ""});
         continue;
       }
       std::string justification;
@@ -234,7 +321,8 @@ void parse_suppressions(const FileData& fd, Suppressions& sup,
                         "suppression-missing-justification", "meta",
                         "suppression of '" + id +
                             "' lacks the mandatory justification string: "
-                            "allow(" + id + ", \"why this is safe\")"});
+                            "allow(" + id + ", \"why this is safe\")",
+                        ""});
         continue;
       }
       sup.by_line[c.line].insert(id);
@@ -734,7 +822,7 @@ void check_file(const FileData& fd, const std::set<std::string>& unordered_all,
     for (const RuleInfo& r : all_rules()) {
       if (r.id == rule) {
         out.push_back({fd.display, line, std::string(rule),
-                       std::string(r.category), std::move(message)});
+                       std::string(r.category), std::move(message), ""});
         return;
       }
     }
@@ -1050,6 +1138,8 @@ void check_file(const FileData& fd, const std::set<std::string>& unordered_all,
   }
 }
 
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -1081,8 +1171,6 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // Linter driver.
 // ---------------------------------------------------------------------------
@@ -1091,16 +1179,19 @@ struct Linter::Impl {
   LintOptions opts;
   std::vector<FileData> files;
   std::map<std::string, std::size_t> by_key;
+  IndexCacheReport cache_report;
 
   bool add_file(const fs::path& p) {
     std::ifstream in(p, std::ios::binary);
     if (!in) return false;
     std::ostringstream ss;
     ss << in.rdbuf();
+    const std::string source = ss.str();
     FileData fd;
-    fd.display = p.lexically_normal().generic_string();
+    fd.display = display_path(p);
     fd.key = file_key(p);
-    fd.lx = lex_file(fd.display, ss.str());
+    fd.hash = content_hash(source);
+    fd.lx = lex_file(fd.display, source);
     const std::string& d = fd.display;
     fd.is_header = ends_with(d, ".h") || ends_with(d, ".hpp");
     parse_directives(fd);
@@ -1109,6 +1200,20 @@ struct Linter::Impl {
     by_key[fd.key] = files.size();
     files.push_back(std::move(fd));
     return true;
+  }
+
+  /// Path reported in findings: relative to opts.root when the file lives
+  /// under it, so baselines and golden output are invocation-directory
+  /// independent; the normalized spelling otherwise.
+  std::string display_path(const fs::path& p) const {
+    const std::string rootk = file_key(fs::path(opts.root));
+    const std::string selfk = file_key(p);
+    if (selfk.size() > rootk.size() + 1 &&
+        selfk.compare(0, rootk.size(), rootk) == 0 &&
+        selfk[rootk.size()] == '/') {
+      return selfk.substr(rootk.size() + 1);
+    }
+    return p.lexically_normal().generic_string();
   }
 };
 
@@ -1157,7 +1262,9 @@ std::vector<Finding> Linter::run() {
   };
   std::vector<std::vector<Edge>> edges(files.size());
   for (std::size_t i = 0; i < files.size(); ++i) {
-    const fs::path self(files[i].display);
+    // Displays can be root-relative while the process cwd is elsewhere, so
+    // same-directory includes resolve against root, not cwd.
+    const fs::path self = root / files[i].display;
     for (const auto& [inc, line] : files[i].project_includes) {
       std::vector<fs::path> candidates;
       candidates.push_back(self.parent_path() / inc);
@@ -1203,7 +1310,8 @@ std::vector<Finding> Linter::run() {
           }
           chain += files[e.to].display;
           findings.push_back({files[f.node].display, e.line, "include-cycle",
-                              "hygiene", "project include cycle: " + chain});
+                              "hygiene", "project include cycle: " + chain,
+                              ""});
           continue;
         }
         if (color[e.to] == 0) {
@@ -1238,16 +1346,92 @@ std::vector<Finding> Linter::run() {
     merged[i] = std::move(acc);
   }
 
-  // Per-file rule pass plus suppressions.
+  // Symbol index per TU — scope suppressions and symbol attribution need it
+  // in every mode; project mode additionally feeds it to the call graph.
+  // Only the project pass consults the on-disk cache: per-file runs are
+  // already fast and must not dirty the cache directory.
+  impl_->cache_report = {};
+  std::vector<FileIndex> indices(files.size());
+  {
+    IndexCacheStats stats;
+    const std::string& cache =
+        impl_->opts.project ? impl_->opts.cache_dir : std::string();
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      indices[i] = index_file_cached(files[i].lx, files[i].hash, cache,
+                                     &stats);
+      indices[i].path = files[i].display;
+    }
+    impl_->cache_report = {stats.hits, stats.misses};
+  }
+
+  // Suppressions, with scope comments resolved to function extents.
+  std::vector<Suppressions> sup(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    parse_suppressions(files[i], sup[i], findings);  // meta findings direct
+    resolve_scoped(sup[i], indices[i]);
+  }
+
+  // Per-file rule pass. Project mode supersedes two token-level rules with
+  // their semantic replacements (the rules stay registered so existing
+  // suppressions of them do not become unknown-rule findings).
   for (std::size_t i = 0; i < files.size(); ++i) {
     std::vector<Finding> raw;
     check_file(files[i], merged[i], raw);
-    Suppressions sup;
-    parse_suppressions(files[i], sup, findings);  // meta findings go straight
     for (Finding& f : raw) {
-      const auto it = sup.by_line.find(f.line);
-      if (it != sup.by_line.end() && it->second.count(f.rule)) continue;
+      if (impl_->opts.project &&
+          (f.rule == "unordered-iteration" || f.rule == "lane-shared-write")) {
+        continue;
+      }
+      if (is_suppressed(sup[i], f.rule, f.line)) continue;
       findings.push_back(std::move(f));
+    }
+  }
+
+  // Whole-program pass: call graph + dataflow rules.
+  if (impl_->opts.project) {
+    const CallGraph graph(indices);
+    for (const ProjectFinding& pf :
+         run_project_rules(indices, graph, merged)) {
+      if (pf.file < 0 || static_cast<std::size_t>(pf.file) >= files.size()) {
+        continue;
+      }
+      if (is_suppressed(sup[static_cast<std::size_t>(pf.file)], pf.rule,
+                        pf.line)) {
+        continue;
+      }
+      std::string category = "determinism";
+      for (const RuleInfo& r : all_rules()) {
+        if (r.id == pf.rule) {
+          category = std::string(r.category);
+          break;
+        }
+      }
+      findings.push_back({files[static_cast<std::size_t>(pf.file)].display,
+                          pf.line, pf.rule, category, pf.message, pf.symbol});
+    }
+  }
+
+  // Symbol attribution for per-file findings: the innermost non-lambda
+  // symbol whose extent covers the finding line.
+  {
+    std::map<std::string, std::size_t> by_display;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      by_display[files[i].display] = i;
+    }
+    for (Finding& f : findings) {
+      if (!f.symbol.empty()) continue;
+      const auto it = by_display.find(f.file);
+      if (it == by_display.end()) continue;
+      int best_span = -1;
+      for (const IndexedSymbol& s : indices[it->second].symbols) {
+        if (s.is_lambda) continue;
+        if (f.line < s.decl_line || f.line > s.body_end_line) continue;
+        const int span = s.body_end_line - s.decl_line;
+        if (best_span < 0 || span < best_span) {
+          best_span = span;
+          f.symbol = s.name;
+        }
+      }
     }
   }
 
@@ -1268,14 +1452,40 @@ std::vector<Finding> Linter::run() {
   return findings;
 }
 
+IndexCacheReport Linter::cache_report() const { return impl_->cache_report; }
+
+std::string finding_id(const Finding& f, int ordinal) {
+  std::string id = f.rule + ":" + f.file + ":" + f.symbol;
+  if (ordinal >= 2) {
+    id += '#';
+    id += std::to_string(ordinal);
+  }
+  return id;
+}
+
+std::vector<std::string> finding_ids(const std::vector<Finding>& fs) {
+  std::map<std::string, int> seen;
+  std::vector<std::string> out;
+  out.reserve(fs.size());
+  for (const Finding& f : fs) {
+    const std::string base = finding_id(f, 1);
+    const int ordinal = ++seen[base];
+    out.push_back(finding_id(f, ordinal));
+  }
+  return out;
+}
+
 void write_findings_json(std::ostream& os, const std::vector<Finding>& fs) {
-  os << "{\"version\":1,\"count\":" << fs.size() << ",\"findings\":[";
+  os << "{\"schema_version\":2,\"count\":" << fs.size() << ",\"findings\":[";
+  const std::vector<std::string> ids = finding_ids(fs);
   for (std::size_t i = 0; i < fs.size(); ++i) {
     const Finding& f = fs[i];
     if (i > 0) os << ",";
-    os << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
-       << ",\"rule\":\"" << json_escape(f.rule) << "\",\"category\":\""
-       << json_escape(f.category) << "\",\"message\":\""
+    os << "{\"id\":\"" << json_escape(ids[i]) << "\",\"file\":\""
+       << json_escape(f.file) << "\",\"line\":" << f.line << ",\"rule\":\""
+       << json_escape(f.rule) << "\",\"category\":\""
+       << json_escape(f.category) << "\",\"symbol\":\""
+       << json_escape(f.symbol) << "\",\"message\":\""
        << json_escape(f.message) << "\"}";
   }
   os << "]}\n";

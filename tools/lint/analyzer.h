@@ -2,12 +2,23 @@
 // rule, applies suppressions, and returns findings.
 //
 // Suppression syntax (enforced, see rules.h meta rules) — the marker
-// uvmsim-lint: followed by allow(banned-random, "example justification").
-// A suppression covers its own line and the following line, so it can sit
-// either at the end of the offending line or on its own line just above.
-// The justification string is mandatory; unknown rule ids are findings.
+// uvmsim-lint: followed by either
+//   allow(banned-random, "example justification")   — covers its own line
+//     and the following line, so it can sit at the end of the offending
+//     line or on its own line just above; or
+//   suppress(banned-random) example justification   — on the line before a
+//     function signature, covers that whole function body.
+// The justification is mandatory in both forms; unknown rule ids are
+// findings.
+//
+// With LintOptions::project set, the per-file pass is followed by the
+// whole-program pass (index -> call graph -> dataflow rules, see index.h /
+// callgraph.h / dataflow.h); the per-file unordered-iteration and
+// lane-shared-write rules are superseded by their semantic replacements
+// (unordered-sink-iteration, lane-capture-escape) and skipped.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -15,17 +26,31 @@
 namespace uvmsim::lint {
 
 struct Finding {
-  std::string file;  ///< path as passed (normalized separators)
+  std::string file;  ///< path as passed, relative to root when under it
   int line = 0;
   std::string rule;      ///< rule id, e.g. "banned-random"
   std::string category;  ///< rule category, e.g. "determinism"
   std::string message;
+  /// Nearest enclosing non-lambda function/method, "" at file scope. Part
+  /// of the stable finding id, so baselines survive line churn.
+  std::string symbol;
 };
 
 struct LintOptions {
   /// Repository root; project includes resolve against <root>/src,
   /// <root>/bench, <root>/tools/lint, and the including file's directory.
+  /// Finding paths are reported relative to this root when possible.
   std::string root = ".";
+  /// Enables the whole-program pass (call-graph reachability + dataflow).
+  bool project = false;
+  /// On-disk index cache directory for the project pass; "" disables
+  /// caching (every TU is re-indexed).
+  std::string cache_dir;
+};
+
+struct IndexCacheReport {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
 };
 
 class Linter {
@@ -42,16 +67,33 @@ class Linter {
   bool add_path(const std::string& path);
 
   /// Runs all rules over the added files. Findings are sorted by
-  /// (file, line, rule) and already filtered through suppressions.
+  /// (file, line, rule), already filtered through suppressions, and carry
+  /// their enclosing symbol.
   [[nodiscard]] std::vector<Finding> run();
+
+  /// Index-cache statistics of the last run() (project mode with a cache
+  /// directory only; zeros otherwise).
+  [[nodiscard]] IndexCacheReport cache_report() const;
 
  private:
   struct Impl;
   Impl* impl_;
 };
 
+/// Stable id of one finding: "rule:file:symbol". `ordinal` >= 2 appends
+/// "#N" for the Nth finding of the same rule in the same symbol.
+[[nodiscard]] std::string finding_id(const Finding& f, int ordinal);
+
+/// Ids for a findings list in order, assigning ordinals to duplicates of
+/// the same (rule, file, symbol) triple.
+[[nodiscard]] std::vector<std::string> finding_ids(
+    const std::vector<Finding>& fs);
+
+/// Minimal JSON string escaping shared by the JSON/SARIF/baseline writers.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
 /// Serializes findings as a stable JSON document:
-///   {"version":1,"count":N,"findings":[{"file":...,"line":...,...}]}
+///   {"schema_version":2,"count":N,"findings":[{"id":...,"file":...,...}]}
 void write_findings_json(std::ostream& os, const std::vector<Finding>& fs);
 
 }  // namespace uvmsim::lint

@@ -1,0 +1,129 @@
+#include "baseline.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace uvmsim::lint {
+
+namespace {
+
+/// Pulls the next JSON string after `key` starting at *pos; advances *pos.
+/// Tolerant scanner — the baseline is machine-written, flat, and only holds
+/// "id"/"rule"/"justification" string members, so full JSON parsing is not
+/// needed. Handles \" and \\ escapes.
+bool next_string_value(const std::string& text, const std::string& key,
+                       std::size_t* pos, std::string& out,
+                       std::size_t limit) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle, *pos);
+  if (at == std::string::npos || at >= limit) return false;
+  std::size_t p = text.find(':', at + needle.size());
+  if (p == std::string::npos) return false;
+  p = text.find('"', p);
+  if (p == std::string::npos) return false;
+  out.clear();
+  for (++p; p < text.size(); ++p) {
+    const char c = text[p];
+    if (c == '\\' && p + 1 < text.size()) {
+      const char n = text[++p];
+      if (n == 'n') {
+        out += '\n';
+      } else if (n == 't') {
+        out += '\t';
+      } else {
+        out += n;  // \" \\ \/ and anything else: literal
+      }
+      continue;
+    }
+    if (c == '"') {
+      *pos = p + 1;
+      return true;
+    }
+    out += c;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool read_baseline(const std::string& path,
+                   std::vector<BaselineEntry>& entries, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open baseline file '" + path + "'";
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  if (text.find("\"baseline_version\"") == std::string::npos) {
+    error = "'" + path + "' does not look like a uvmsim_lint baseline "
+            "(missing baseline_version)";
+    return false;
+  }
+  std::size_t pos = 0;
+  while (true) {
+    BaselineEntry e;
+    const std::size_t before = pos;
+    if (!next_string_value(text, "id", &pos, e.id, text.size())) break;
+    // The justification belongs to this entry only if it appears before the
+    // next id; a missing one is tolerated (empty justification).
+    std::size_t next_id_probe = pos;
+    std::string dummy;
+    std::size_t next_id_at = text.size();
+    if (next_string_value(text, "id", &next_id_probe, dummy, text.size())) {
+      next_id_at = next_id_probe;
+    }
+    std::size_t jpos = pos;
+    next_string_value(text, "justification", &jpos, e.justification,
+                      next_id_at);
+    if (jpos > pos && jpos <= next_id_at) pos = jpos;
+    if (e.id.empty()) {
+      error = "baseline entry with empty id (offset " +
+              std::to_string(before) + ")";
+      return false;
+    }
+    entries.push_back(std::move(e));
+  }
+  return true;
+}
+
+void write_baseline(std::ostream& os, const std::vector<Finding>& findings) {
+  os << "{\n  \"baseline_version\": 1,\n  \"findings\": [\n";
+  const std::vector<std::string> ids = finding_ids(findings);
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    os << "    {\n"
+       << "      \"id\": \"" << json_escape(ids[i]) << "\",\n"
+       << "      \"rule\": \"" << json_escape(findings[i].rule) << "\",\n"
+       << "      \"justification\": \"TODO: justify or fix\"\n"
+       << "    }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+void apply_baseline(const std::vector<Finding>& findings,
+                    const std::vector<BaselineEntry>& entries,
+                    std::vector<Finding>& fresh, std::vector<Finding>& known,
+                    std::vector<std::string>& stale) {
+  std::set<std::string> accepted;
+  for (const BaselineEntry& e : entries) accepted.insert(e.id);
+  std::set<std::string> used;
+  const std::vector<std::string> ids = finding_ids(findings);
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (accepted.count(ids[i])) {
+      used.insert(ids[i]);
+      known.push_back(findings[i]);
+    } else {
+      fresh.push_back(findings[i]);
+    }
+  }
+  for (const BaselineEntry& e : entries) {
+    if (!used.count(e.id)) stale.push_back(e.id);
+  }
+}
+
+}  // namespace uvmsim::lint

@@ -1,0 +1,42 @@
+// Findings baseline: a checked-in JSON list of stable finding ids that are
+// accepted (deliberate, justified exceptions). The CI gate fails only on
+// findings whose id is NOT in the baseline, so unrelated line churn or
+// pre-existing debt never blocks a change, while every new violation does.
+//
+// Ids are `rule:file:symbol` (see analyzer.h finding_id), with a `#N`
+// ordinal suffix when one symbol holds several findings of the same rule.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace uvmsim::lint {
+
+struct BaselineEntry {
+  std::string id;
+  std::string justification;
+};
+
+/// Parses tools/lint/baseline.json. Returns false when the file cannot be
+/// read or is malformed; `error` gets a one-line reason.
+[[nodiscard]] bool read_baseline(const std::string& path,
+                                 std::vector<BaselineEntry>& entries,
+                                 std::string& error);
+
+/// Serializes a baseline for the given findings (used by --write-baseline).
+/// Each entry's justification starts as "TODO: justify or fix" for a human
+/// to edit before committing.
+void write_baseline(std::ostream& os, const std::vector<Finding>& findings);
+
+/// Splits `findings` into the ones covered by the baseline and the new
+/// ones; `stale` receives baseline ids that matched nothing (candidates for
+/// removal). Order within each output follows the input order.
+void apply_baseline(const std::vector<Finding>& findings,
+                    const std::vector<BaselineEntry>& entries,
+                    std::vector<Finding>& fresh, std::vector<Finding>& known,
+                    std::vector<std::string>& stale);
+
+}  // namespace uvmsim::lint

@@ -14,7 +14,17 @@ const std::vector<RuleInfo>& all_rules() {
        "time comes from sim/time.h"},
       {"unordered-iteration", "determinism",
        "range-for over an unordered container; iteration order depends on "
-       "hashing/address layout — iterate a sorted view instead"},
+       "hashing/address layout — iterate a sorted view instead (per-file "
+       "mode only; --project supersedes it with unordered-sink-iteration)"},
+      {"unordered-sink-iteration", "determinism",
+       "range-for over an unordered container whose body prints or calls "
+       "code that transitively can; hash order would leak into output "
+       "(--project replacement for unordered-iteration)"},
+      {"ordered-reads-lane-owned", "determinism",
+       "code reachable from a UVMSIM_ORDERED function reads "
+       "UVMSIM_LANE_OWNED state before the merge point; the serial walk "
+       "may only consume lane accumulators after the lane-order merge "
+       "(--project only)"},
       {"pointer-keyed-container", "determinism",
        "std::map/std::set keyed by a raw pointer; ordering follows the "
        "allocator and varies run to run — key by a stable id"},
@@ -28,6 +38,18 @@ const std::vector<RuleInfo>& all_rules() {
       {"hot-local-container", "allocation",
        "allocating std:: container named inside a UVMSIM_HOT function; use "
        "preallocated members or spans"},
+      {"hot-transitive-alloc", "allocation",
+       "heap allocation in code transitively callable from a UVMSIM_HOT "
+       "function; reported with the call chain (--project only)"},
+      {"hot-transitive-io", "allocation",
+       "I/O in code transitively callable from a UVMSIM_HOT function "
+       "(--project only)"},
+      {"hot-transitive-clock", "determinism",
+       "wall-clock read in code transitively callable from a UVMSIM_HOT "
+       "function (--project only)"},
+      {"hot-transitive-random", "determinism",
+       "nondeterministic RNG in code transitively callable from a "
+       "UVMSIM_HOT function (--project only)"},
       // -- C: concurrency ----------------------------------------------------
       {"mutable-static", "concurrency",
        "non-const, non-atomic static; shared mutable state is reachable from "
@@ -43,7 +65,13 @@ const std::vector<RuleInfo>& all_rules() {
        "write to non-lane-local state (member or by-reference capture) "
        "inside a for_lanes/lane_reduce lane body; lanes fill per-lane "
        "accumulators and the caller merges in lane order — suppress only on "
-       "the serial merge step"},
+       "the serial merge step (per-file mode only; --project supersedes it "
+       "with lane-capture-escape)"},
+      {"lane-capture-escape", "concurrency",
+       "by-reference capture (or captured member state) mutated inside a "
+       "for_lanes/parallel_for lane body without being lane-indexed, "
+       "std::atomic, or UVMSIM_LANE_OWNED (--project replacement for "
+       "lane-shared-write)"},
       // -- H: hygiene --------------------------------------------------------
       {"using-namespace-header", "hygiene",
        "using namespace at header scope leaks into every includer"},

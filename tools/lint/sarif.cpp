@@ -1,0 +1,53 @@
+#include "sarif.h"
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "rules.h"
+
+namespace uvmsim::lint {
+
+void write_sarif(std::ostream& os, const std::vector<Finding>& findings) {
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"uvmsim_lint\",\n"
+     << "          \"informationUri\": \"tools/lint/README.md\",\n"
+     << "          \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\"id\": \"" << rules[i].id
+       << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(std::string(rules[i].summary))
+       << "\"}, \"properties\": {\"category\": \"" << rules[i].category
+       << "\"}}" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  const std::vector<std::string> ids = finding_ids(findings);
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\"ruleId\": \"" << json_escape(f.rule)
+       << "\", \"level\": \"warning\", \"message\": {\"text\": \""
+       << json_escape(f.message) << "\"}, \"locations\": [{"
+       << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+       << (f.line > 0 ? f.line : 1) << "}}}], \"partialFingerprints\": {"
+       << "\"stableId\": \"" << json_escape(ids[i]) << "\"}}"
+       << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+}
+
+}  // namespace uvmsim::lint

@@ -1,0 +1,19 @@
+// SARIF 2.1.0 writer for uvmsim_lint findings.
+//
+// Emits one run with the full rule catalog under tool.driver.rules and one
+// result per finding. Each result carries partialFingerprints.stableId —
+// the same rule:file:symbol id the JSON output and the baseline use — so
+// SARIF consumers (code-scanning UIs) track findings across line churn.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace uvmsim::lint {
+
+void write_sarif(std::ostream& os, const std::vector<Finding>& findings);
+
+}  // namespace uvmsim::lint
