@@ -69,7 +69,8 @@ rm -f "$TRACE_OUT"
 
 echo "== sweep determinism (UVMSIM_THREADS=1 vs 4 stdout must match) =="
 SWEEP_BENCHES=(fig09_oversub_breakdown fig10_sgemm_oversub_rate
-               abl1_threshold_sweep abl2_batch_size table2_sgemm_fault_scaling)
+               abl1_threshold_sweep abl2_batch_size table2_sgemm_fault_scaling
+               fig_policy_crossover)
 SWEEP_TMP=$(mktemp -d /tmp/uvmsim-sweep.XXXXXX)
 for b in "${SWEEP_BENCHES[@]}"; do
   UVMSIM_FAST=1 UVMSIM_THREADS=1 "./build/bench/$b" > "$SWEEP_TMP/$b.t1.txt"
@@ -156,6 +157,41 @@ fi
 echo "backend-crossover gate: green"
 rm -f "$XOVER_TMP"
 
+echo "== policy-crossover shape gate (learned vs tree vs off, PR 10) =="
+# The learned-prefetcher payoff: at deep oversubscription on the strided
+# pattern, prefetch-off must beat the tree (the PR-5 regime) AND the markov
+# predictor must beat both. The binary itself exits nonzero if the
+# markov+clock run is not byte-identical at 1 vs 4 servicing lanes, so a
+# bare failure here is also the determinism gate tripping.
+POLICY_TMP=$(mktemp /tmp/uvmsim-policy.XXXXXX)
+UVMSIM_FAST=1 ./build/bench/fig_policy_crossover > "$POLICY_TMP" \
+  || { echo "policy crossover FAILED (lane determinism)"; cat "$POLICY_TMP"; exit 1; }
+grep -q '^\[SHAPE PASS\] strided oversubscription reproduces PR 5' \
+  "$POLICY_TMP" \
+  || { echo "shape gate FAILED: off-beats-tree claim"; cat "$POLICY_TMP"; exit 1; }
+grep -q '^\[SHAPE PASS\] the learned predictor beats BOTH' "$POLICY_TMP" \
+  || { echo "shape gate FAILED: learned-beats-both claim"; cat "$POLICY_TMP"; exit 1; }
+grep -q '^\[SHAPE PASS\] eviction choice shifts victim order' "$POLICY_TMP" \
+  || { echo "shape gate FAILED: eviction-panel claim"; cat "$POLICY_TMP"; exit 1; }
+if grep '^\[SHAPE FAIL\]' "$POLICY_TMP"; then
+  echo "shape gate FAILED: unexpected [SHAPE FAIL] above"; exit 1
+fi
+echo "policy-crossover gate: green"
+rm -f "$POLICY_TMP"
+
+echo "== policy-panel CLI determinism (markov + clock/2q, THREADS 1 vs 4) =="
+PP_TMP=$(mktemp -d /tmp/uvmsim-policypanel.XXXXXX)
+for ev in clock 2q; do
+  PP_FLAGS=(--workload strided --size-mib 96 --gpu-mib 64
+            --prefetch-policy markov --eviction "$ev" --csv)
+  UVMSIM_THREADS=1 ./build/tools/uvmsim_cli "${PP_FLAGS[@]}" > "$PP_TMP/t1.txt"
+  UVMSIM_THREADS=4 ./build/tools/uvmsim_cli "${PP_FLAGS[@]}" > "$PP_TMP/t4.txt"
+  diff -u "$PP_TMP/t1.txt" "$PP_TMP/t4.txt" > /dev/null \
+    || { echo "policy-panel determinism FAILED (eviction=$ev)"; exit 1; }
+  echo "uvmsim_cli markov+$ev: byte-identical at 1 and 4 lanes"
+done
+rm -rf "$PP_TMP"
+
 echo "== perf smoke (fast mode) =="
 BENCH_OUT=${BENCH_OUT:-BENCH_pr5.json}
 UVMSIM_FAST=1 BENCH_OUT="$BENCH_OUT" scripts/perf_smoke.sh build
@@ -177,8 +213,8 @@ echo "== sanitized build (TSan: lanes label + sweep harness) =="
 cmake -B build-tsan -S . -DUVMSIM_SANITIZE=thread
 cmake --build build-tsan -j"$JOBS" \
   --target thread_pool_test fault_batch_test prefetcher_test \
-           backend_parity_test sweep_runner_test fig09_oversub_breakdown \
-           fig_full_scale
+           backend_parity_test markov_prefetcher_test sweep_runner_test \
+           fig09_oversub_breakdown fig_full_scale
 # The "lanes" label covers the intra-run parallel servicing path: lane
 # partitioning/reduction, sharded fault binning, plan precompute parity,
 # and backend byte-identity at service_lanes in {1,2,4}.

@@ -89,6 +89,8 @@ RunRequest parse_request_line(const std::string& line) {
       req.backend = val;
     } else if (key == "prefetch") {
       req.prefetch = val;
+    } else if (key == "prefetch-policy") {
+      req.prefetch_policy = val;
     } else if (key == "threshold") {
       req.threshold = static_cast<std::uint32_t>(parse_u64(key, val));
     } else if (key == "policy") {
@@ -211,6 +213,9 @@ std::string canonical_request(const RunRequest& req) {
   // keeps the canonical line — and the content address — it was stored
   // under. New non-default keys must follow the same append-when-set rule.
   if (req.backend != "driver") os << " backend=" << req.backend;
+  if (req.prefetch_policy != "tree") {
+    os << " prefetch-policy=" << req.prefetch_policy;
+  }
   return os.str();
 }
 
@@ -251,6 +256,19 @@ SimConfig request_sim_config(const RunRequest& req) {
                       "wants on|off|adaptive, got '" + req.prefetch + "'");
   }
 
+  if (req.prefetch_policy == "tree") {
+    cfg.driver.prefetch_policy = PrefetchPolicyKind::Tree;
+  } else if (req.prefetch_policy == "markov") {
+    cfg.driver.prefetch_policy = PrefetchPolicyKind::Markov;
+    if (cfg.driver.adaptive_prefetch) {
+      throw ConfigError("request.prefetch-policy",
+                        "markov cannot combine with prefetch=adaptive");
+    }
+  } else {
+    throw ConfigError("request.prefetch-policy",
+                      "wants tree|markov, got '" + req.prefetch_policy + "'");
+  }
+
   if (req.policy == "block") {
     cfg.driver.replay_policy = ReplayPolicyKind::Block;
   } else if (req.policy == "batch") {
@@ -270,9 +288,14 @@ SimConfig request_sim_config(const RunRequest& req) {
   } else if (req.eviction == "access_counter") {
     cfg.driver.eviction_policy = EvictionPolicyKind::AccessCounter;
     cfg.access_counters.enabled = true;
+  } else if (req.eviction == "clock") {
+    cfg.driver.eviction_policy = EvictionPolicyKind::Clock;
+  } else if (req.eviction == "2q") {
+    cfg.driver.eviction_policy = EvictionPolicyKind::TwoQ;
   } else {
     throw ConfigError("request.eviction",
-                      "wants lru|access_counter, got '" + req.eviction + "'");
+                      "wants lru|access_counter|clock|2q, got '" +
+                          req.eviction + "'");
   }
 
   if (req.chunking == "on") {
@@ -337,6 +360,9 @@ std::vector<std::string> request_cli_args(const RunRequest& req) {
   add("--gpu-mib", std::to_string(req.gpu_mib));
   if (req.backend != "driver") add("--backend", req.backend);
   add("--prefetch", req.prefetch);
+  if (req.prefetch_policy != "tree") {
+    add("--prefetch-policy", req.prefetch_policy);
+  }
   add("--threshold", std::to_string(req.threshold));
   add("--policy", req.policy);
   add("--eviction", req.eviction);

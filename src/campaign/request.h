@@ -39,9 +39,13 @@ struct RunRequest {
   /// address it was stored under.
   std::string backend = "driver";
   std::string prefetch = "on";       ///< on | off | adaptive
+  /// Speculation predictor: "tree" (density tree) or "markov" (learned
+  /// delta predictor). Appended to the canonical line only when non-default
+  /// — same legacy-preserving rule as `backend`.
+  std::string prefetch_policy = "tree";
   std::uint32_t threshold = 51;
   std::string policy = "batch_flush";///< block | batch | batch_flush | once
-  std::string eviction = "lru";      ///< lru | access_counter
+  std::string eviction = "lru";      ///< lru | access_counter | clock | 2q
   std::string chunking = "on";       ///< on | off
   std::uint32_t batch_size = 256;
   std::string thrash = "off";        ///< off | detect | pin | throttle

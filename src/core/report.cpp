@@ -93,6 +93,13 @@ Table run_summary_table(const RunResult& r) {
   summary.add_row({"pages_migrated_h2d", fmt(r.counters.pages_migrated_h2d)});
   summary.add_row({"pages_prefetched", fmt(r.counters.pages_prefetched)});
   summary.add_row({"wasted_prefetch", fmt(r.wasted_prefetch_at_end)});
+  if (r.counters.markov_observes > 0) {
+    summary.add_row({"markov_observes", fmt(r.counters.markov_observes)});
+    summary.add_row(
+        {"markov_predictions", fmt(r.counters.markov_predictions)});
+    summary.add_row({"markov_blocks_prefetched",
+                     fmt(r.counters.markov_blocks_prefetched)});
+  }
   summary.add_row({"pages_zeroed", fmt(r.counters.pages_zeroed)});
   summary.add_row({"evictions", fmt(r.counters.evictions)});
   summary.add_row({"pages_evicted", fmt(r.counters.pages_evicted)});

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/errors.h"
+
 namespace uvmsim {
 
 RangeId AddressSpace::create_range(std::uint64_t bytes, std::string name,
@@ -18,6 +20,15 @@ RangeId AddressSpace::create_range(std::uint64_t bytes, std::string name,
   r.first_block = blocks_.size();
   r.first_page = first_page_of_block(r.first_block);
   r.num_blocks = (r.num_pages + kPagesPerBlock - 1) / kPagesPerBlock;
+  // SliceKey::packed() keys per-slice eviction state by a 32/32 block/slice
+  // split, so every block ID must fit 32 bits. Prove the bound here, before
+  // any simulated time elapses: 2^32 blocks x 2 MB = 8 EB of managed VA,
+  // beyond anything this simulates.
+  if (r.first_block + r.num_blocks > (std::uint64_t{1} << 32)) {
+    throw ConfigError("AddressSpace.range_bytes",
+                      "total managed VA exceeds 2^32 VABlocks; block IDs "
+                      "would overflow SliceKey::packed()'s 32-bit half");
+  }
 
   for (std::uint64_t b = 0; b < r.num_blocks; ++b) {
     VaBlock blk;

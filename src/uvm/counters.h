@@ -52,6 +52,11 @@ struct DriverCounters {
   std::uint64_t chunks_evicted = 0;     ///< sub-chunks released by partial evictions
   std::uint64_t blocks_coalesced = 0;   ///< fragmented blocks re-merged to a root chunk
 
+  // --- learned (Markov) prefetcher (all zero under the tree policy) ---
+  std::uint64_t markov_observes = 0;     ///< block transitions fed to the table
+  std::uint64_t markov_predictions = 0;  ///< confident predictions emitted
+  std::uint64_t markov_blocks_prefetched = 0;  ///< predicted blocks populated
+
   // --- thrashing mitigation ---
   std::uint64_t thrash_pinned_pages = 0;   ///< faults served by pin/remote map
   std::uint64_t thrash_throttles = 0;      ///< throttled block services

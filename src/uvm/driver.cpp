@@ -3,6 +3,7 @@
 #include <time.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "uvm/access_counter_eviction.h"
 #include "uvm/backends/driver_centric.h"
 #include "uvm/backends/gpu_driven.h"
+#include "uvm/eviction_2q.h"
+#include "uvm/eviction_clock.h"
 #include "uvm/eviction_lru.h"
 #include "uvm/prefetcher.h"
 #include "uvm/service.h"
@@ -44,6 +47,23 @@ Driver::Driver(const DriverConfig& cfg, const CostModel& cm, const Deps& deps,
     case EvictionPolicyKind::AccessCounter:
       eviction_ = std::make_unique<AccessCounterEviction>(kPagesPerBlock);
       break;
+    case EvictionPolicyKind::Clock:
+      eviction_ = std::make_unique<ClockEviction>();
+      break;
+    case EvictionPolicyKind::TwoQ:
+      eviction_ = std::make_unique<TwoQEviction>();
+      break;
+  }
+  if (cfg_.prefetch_policy == PrefetchPolicyKind::Markov) {
+    if (cfg_.adaptive_prefetch) {
+      throw ConfigError("Driver.prefetch_policy",
+                        "markov replaces the density tree whose threshold "
+                        "adaptive_prefetch tunes; the two cannot combine");
+    }
+    // MarkovPrefetcher's ctor validates the table/confidence knobs.
+    if (cfg_.prefetch_enabled) {
+      markov_ = std::make_unique<MarkovPrefetcher>(cfg_.markov);
+    }
   }
   if (cfg_.adaptive_prefetch) {
     adaptive_ = std::make_unique<AdaptivePrefetcher>();
@@ -101,6 +121,11 @@ void Driver::on_gpu_interrupt() {
 }
 
 std::uint32_t Driver::effective_threshold() const {
+  // Markov policy: the learned predictor owns speculation outright — the
+  // serial walk and the plan precompute both skip the tree stage, so this
+  // value is never consulted. Pinned past 100% anyway so any future reader
+  // sees "tree off", not a live threshold.
+  if (markov_) return 101;
   return adaptive_ ? adaptive_->threshold() : cfg_.prefetch_threshold;
 }
 
@@ -171,7 +196,9 @@ void Driver::precompute_plan(const FaultBatch::Bin& bin, BinPlan& out) {
   out.threshold = effective_threshold();
   out.need = need;
   out.valid = false;
-  if (!cfg_.prefetch_enabled || need.none()) return;
+  // The Markov policy replaces the tree stage wholesale (service_bin skips
+  // it), so a tree plan would go unused.
+  if (!cfg_.prefetch_enabled || markov_ != nullptr || need.none()) return;
   // Blocks bound to remote mapping never reach the prefetch stage; a plan
   // would go unused (the thrash-pin path is rarer and not predictable here —
   // such plans are simply dropped by the walk).
@@ -237,14 +264,22 @@ UVMSIM_ORDERED SimTime Driver::service_bin(const FaultBatch::Bin& bin,
     }
   }
 
-  // Fault-driven LRU touch (the only residency signal the stock policy
-  // has). Backing is chunked but residency tracking stays block-granular,
-  // so the key is always {block, 0}.
-  for (std::uint32_t s : touched_slices(bin.faulted, kPagesPerBlock)) {
-    eviction_->on_slice_touched(SliceKey{blk.id, s});
-  }
+  // Fault-driven policy touch (the only residency signal the stock policy
+  // gets, paper §V-A1). Backing is chunked but residency tracking stays
+  // block-granular, so the key is always {block, 0}. Emitted at each exit
+  // path AFTER backing is ensured, never before: this used to fire ahead of
+  // ensure_backing's on_slice_allocated, so a block's first demand fault
+  // touched a still-untracked key and was dropped — the stock LRU masked it
+  // (allocate and touch both mean "move to MRU") but CLOCK/2Q would have
+  // seen every freshly faulted block as never-demanded (PR-10 audit).
+  const auto touch_faulted = [&] {
+    for (std::uint32_t s : touched_slices(bin.faulted, kPagesPerBlock)) {
+      eviction_->on_slice_touched(SliceKey{blk.id, s});
+    }
+  };
 
   if (need.none()) {
+    touch_faulted();
     blk.service_locked = false;
     return t;
   }
@@ -263,6 +298,7 @@ UVMSIM_ORDERED SimTime Driver::service_bin(const FaultBatch::Bin& bin,
          static_cast<SimDuration>(need.count()) * cm_.map_per_page;
     counters_.thrash_pinned_pages += need.count();
     prof_.add(CostCategory::ServiceMap, t - t0);
+    touch_faulted();
     blk.service_locked = false;
     return t;
   }
@@ -280,13 +316,18 @@ UVMSIM_ORDERED SimTime Driver::service_bin(const FaultBatch::Bin& bin,
          static_cast<SimDuration>(need.count()) * cm_.map_per_page;
     counters_.pages_remote_mapped += need.count();
     prof_.add(CostCategory::ServiceMap, t - t0);
+    touch_faulted();
     blk.service_locked = false;
     return t;
   }
 
-  // --- prefetch computation ---
+  // --- prefetch computation (density-tree policy) ---
+  // Under the Markov policy the tree stage — including its stage-1
+  // big-page upgrade — is off entirely: demand stays 4 KB-exact and all
+  // speculation happens in markov_step below, shaped by the observed fault
+  // footprint instead of by local density.
   PageMask prefetch;
-  if (cfg_.prefetch_enabled) {
+  if (cfg_.prefetch_enabled && !markov_) {
     t0 = t;
     Prefetcher::Result pres;
     if (plan != nullptr && plan->valid &&
@@ -352,10 +393,14 @@ UVMSIM_ORDERED SimTime Driver::service_bin(const FaultBatch::Bin& bin,
       }
     }
     if (to_populate.none()) {
+      touch_faulted();
       blk.service_locked = false;
       return t;
     }
   }
+  // The faulted slice is backed and tracked from here on: record the demand
+  // touch before any speculative allocations this pass may append.
+  touch_faulted();
 
   // --- zero-fill never-populated pages (data born on the GPU) ---
   PageMask zero = to_populate.and_not(blk.ever_populated);
@@ -421,7 +466,179 @@ UVMSIM_ORDERED SimTime Driver::service_bin(const FaultBatch::Bin& bin,
   (void)restarted;
   t = maybe_coalesce(blk, t);
 
+  // --- learned prefetch (Markov policy): observe the transition, then
+  // speculatively populate the confident predictions. The serviced block
+  // stays locked so the speculation can never evict it.
+  if (markov_) t = markov_step(bin, t);
+
   blk.service_locked = false;
+  return t;
+}
+
+SimTime Driver::markov_step(const FaultBatch::Bin& bin, SimTime t) {
+  const VaBlockId serviced_block = bin.block;
+  markov_->observe(serviced_block);
+  ++counters_.markov_observes;
+  // One table lookup + update per serviced bin: charge the same per-fault
+  // rate as a tree-node update.
+  t += cm_.prefetch_compute_per_fault;
+  prof_.add(CostCategory::ServiceOther, cm_.prefetch_compute_per_fault);
+
+  // Online accuracy feedback: under the Markov policy every prefetched page
+  // is the predictor's, so the run-wide issued/wasted counters are its own
+  // hit-rate ledger. Once more than a quarter of a meaningful sample was
+  // evicted before first use, emissions mute (observation continues for
+  // free) — unpredictable access converges toward prefetch-off instead of
+  // paying for misspeculation. The ledger only charges under memory
+  // pressure, which is exactly when misspeculation costs anything.
+  if (counters_.pages_prefetched > 256 &&
+      counters_.prefetched_evicted_unused * 4 > counters_.pages_prefetched) {
+    return t;
+  }
+
+  // --- (a) intra-block stride continuation --------------------------------
+  // A bin whose faulted pages sit at one constant gap is a strided warp
+  // mid-block; its next faults are that gap continued. Bin-local evidence
+  // only — deterministic, and immune to the cross-block interleave that
+  // warp scheduling imposes on the serviced-bin sequence.
+  VaBlock& blk = d_.as->block(serviced_block);
+  const std::uint32_t nbits = bin.faulted.count();
+  if (nbits >= 3) {
+    std::uint32_t prev = bin.faulted.find_next_set(0);
+    std::uint32_t gap = 0;
+    bool constant = true;
+    for (std::uint32_t p = bin.faulted.find_next_set(prev + 1);
+         p < blk.num_pages; p = bin.faulted.find_next_set(p + 1)) {
+      const std::uint32_t g = p - prev;
+      if (gap == 0) {
+        gap = g;
+      } else if (g != gap) {
+        constant = false;
+        break;
+      }
+      prev = p;
+    }
+    if (constant && gap > 0) {
+      PageMask ahead;
+      std::uint64_t emit =
+          static_cast<std::uint64_t>(nbits) * markov_->config().degree;
+      for (std::uint64_t p = prev + gap; p < blk.num_pages && emit > 0;
+           p += gap, --emit) {
+        ahead.set(static_cast<std::uint32_t>(p));
+      }
+      if (ahead.any()) {
+        ++counters_.markov_predictions;
+        SimTime t0 = t;
+        t += cm_.prefetch_compute_per_block;
+        prof_.add(CostCategory::ServiceOther, t - t0);
+        t = populate_speculative(blk, ahead, t);
+      }
+    }
+  }
+
+  // --- (b) cross-block Markov chain ---------------------------------------
+  std::array<VaBlockId, MarkovPrefetcher::kMaxDegree> pred{};
+  const std::size_t n = markov_->predict(serviced_block, pred);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VaBlockId nb_id = pred[i];
+    // Chains stop at the first unusable link: later links are relative to
+    // this one, so skipping it would speculate on a gap we never verified.
+    if (nb_id >= d_.as->num_blocks()) break;
+    VaBlock& nb = d_.as->block(nb_id);
+    if (!nb.valid() || nb.service_locked) break;
+    if (d_.as->range(nb.range).advise.remote_map) break;
+    ++counters_.markov_predictions;
+    // The emission itself advances the history (no training): a prefetch
+    // hit never faults, and the next real fault's delta must be measured
+    // from where the stream actually is.
+    markov_->advance(nb_id);
+    SimTime t0 = t;
+    t += cm_.prefetch_compute_per_block;  // prediction + population setup
+    prof_.add(CostCategory::ServiceOther, t - t0);
+    // Footprint projection: speculate the same page offsets the triggering
+    // bin faulted on, not the whole block. A dense sweep projects dense
+    // masks, a strided kernel projects exactly its stride set, and a wrong
+    // prediction wastes at most one bin's worth of traffic.
+    t = populate_speculative(nb, bin.faulted, t);
+  }
+  return t;
+}
+
+SimTime Driver::populate_speculative(VaBlock& blk, const PageMask& shape,
+                                     SimTime t) {
+  PageMask window;
+  window.set_range(0, blk.num_pages);
+  PageMask want =
+      (shape & window).and_not(blk.gpu_resident).and_not(blk.remote_mapped);
+  if (want.none()) return t;
+
+  // The stride path speculates on the block being serviced, which is
+  // already locked; restore rather than clear so service_bin's unlock stays
+  // the single release point for that block.
+  const bool was_locked = blk.service_locked;
+  blk.service_locked = true;
+  bool restarted = false;
+  PageMask unbacked;
+  // speculative=false on purpose: the tree path's root-granularity
+  // speculative backing is exactly the 2 MB-per-prediction amplification
+  // the paper blames for "prefetching aggravates oversubscription". The
+  // learned path backs its projected footprint at demand-chunk granularity
+  // instead, so a speculation costs what the equivalent demand would.
+  t = ensure_backing(blk, want, t, restarted, unbacked, /*speculative=*/false);
+  (void)restarted;  // speculation is not a fault path; no restart penalty
+  if (unbacked.any()) {
+    // Advisory: pages that cannot be backed are simply not speculated on.
+    want = want.and_not(unbacked);
+    if (want.none()) {
+      blk.service_locked = was_locked;
+      return t;
+    }
+  }
+
+  SimTime t0 = t;
+  PageMask zero = want.and_not(blk.ever_populated);
+  if (zero.any()) {
+    t0 = t;
+    t = d_.dma->zero_fill(
+        t, static_cast<std::uint64_t>(zero.count()) * kPageSize);
+    blk.ever_populated |= zero;
+    counters_.pages_zeroed += zero.count();
+    prof_.add(CostCategory::ServiceZero, t - t0);
+  }
+
+  PageMask migrate = want & blk.cpu_resident & blk.ever_populated;
+  if (migrate.any()) {
+    t0 = t;
+    CopyOutcome rc =
+        robust_copy(Direction::HostToDevice, t, runs_to_bytes(migrate));
+    t = rc.done;
+    blk.cpu_resident &= ~migrate;  // paged migration unmaps the source
+    counters_.pages_migrated_h2d += migrate.count();
+    prof_.add(CostCategory::ServiceMigrate, (t - t0) - rc.recovery);
+  }
+
+  t0 = t;
+  d_.pt->map_pages(blk, want);
+  t += cm_.map_membar +
+       static_cast<SimDuration>(want.count()) * cm_.map_per_page;
+  prof_.add(CostCategory::ServiceMap, t - t0);
+
+  counters_.pages_prefetched += want.count();
+  ++counters_.markov_blocks_prefetched;
+  blk.prefetched_unused |= want;
+  if (log_.enabled()) {
+    for (std::uint32_t i : want.set_bits()) {
+      log_.record(FaultLogEntry{0, t, FaultLogKind::Prefetch,
+                                blk.first_page + i, blk.id, blk.range, false});
+    }
+  }
+  trace_span(TraceCategory::Prefetch, "prefetch.markov", t0, t, blk.id,
+             "pages", want.count());
+  // Deliberately NO on_slice_touched: ensure_backing already emitted
+  // on_slice_allocated, and speculation is not a use — CLOCK/2Q must see
+  // never-demanded prefetch as first-choice eviction fodder.
+  t = maybe_coalesce(blk, t);
+  blk.service_locked = was_locked;
   return t;
 }
 
@@ -804,9 +1021,11 @@ SimTime Driver::prefetch_pages(VirtPage first, std::uint64_t npages) {
          static_cast<SimDuration>(to_move.count()) * cm_.map_per_page;
     prof_.add(CostCategory::ServiceMap, t - t0);
 
-    for (std::uint32_t s : touched_slices(to_move, kPagesPerBlock)) {
-      eviction_->on_slice_touched(SliceKey{blk.id, s});
-    }
+    // No on_slice_touched here (PR-10 bugfix audit): speculative backing
+    // emits exactly on_slice_allocated (inside ensure_backing). Bulk
+    // prefetch is speculation, not a use — the stock LRU masked the
+    // difference (allocation already MRU-inserts), but CLOCK/2Q would have
+    // promoted never-demanded data.
     t = maybe_coalesce(blk, t);
     blk.service_locked = false;
   }

@@ -21,6 +21,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 
 #include "core/fault_log.h"
 #include "core/profiler.h"
@@ -41,6 +42,7 @@
 #include "uvm/driver_config.h"
 #include "uvm/eviction_policy.h"
 #include "uvm/fault_batch.h"
+#include "uvm/markov_prefetcher.h"
 #include "uvm/thrashing_detector.h"
 
 namespace uvmsim {
@@ -125,9 +127,19 @@ class Driver {
   [[nodiscard]] const Profiler& profiler() const { return prof_; }
   [[nodiscard]] const FaultLog& fault_log() const { return log_; }
   [[nodiscard]] EvictionPolicy& eviction_policy() { return *eviction_; }
+  /// Test seam: swaps in a replacement eviction policy (e.g. a recording
+  /// stub that pins the notification-sequence contract). Call before any
+  /// servicing happens — tracked state does not transfer.
+  void set_eviction_policy(std::unique_ptr<EvictionPolicy> policy) {
+    eviction_ = std::move(policy);
+  }
   /// Non-null only when adaptive prefetching is enabled.
   [[nodiscard]] const AdaptivePrefetcher* adaptive() const {
     return adaptive_.get();
+  }
+  /// Non-null only under PrefetchPolicyKind::Markov with prefetching on.
+  [[nodiscard]] const MarkovPrefetcher* markov() const {
+    return markov_.get();
   }
   [[nodiscard]] const ThrashingDetector& thrashing() const {
     return thrashing_;
@@ -256,7 +268,22 @@ class Driver {
   SimTime drain_access_counters(SimTime t);
   /// Migrates a hot remote-mapped big page to local GPU memory.
   SimTime promote_hot_region(const AccessCounterNotification& n, SimTime t);
-  /// Density threshold for this pass (config or adaptive).
+  /// Learned-prefetch step for one serviced bin (Markov policy only):
+  /// feeds the block into the delta history, then speculatively populates
+  /// the confident chained predictions. Called only from the serial bin
+  /// walk — the single ordering authority — so the predictor sees one
+  /// deterministic trace for every lane count.
+  SimTime markov_step(const FaultBatch::Bin& bin, SimTime t);
+  /// Speculatively backs, fills, migrates, and maps the absent pages of
+  /// `blk` covered by `shape` (the triggering bin's fault footprint,
+  /// projected). Backs at demand-chunk granularity — not the tree path's
+  /// speculative root granularity — and emits on_slice_allocated via
+  /// ensure_backing but — deliberately — no on_slice_touched: speculation
+  /// is not a use, and touch-sensitive policies (CLOCK/2Q) must see
+  /// prefetched-but-never-demanded data as eviction fodder.
+  SimTime populate_speculative(VaBlock& blk, const PageMask& shape, SimTime t);
+  /// Density threshold for this pass (config or adaptive; pinned past 100
+  /// under the Markov policy, where the tree stage is skipped outright).
   [[nodiscard]] std::uint32_t effective_threshold() const;
 
   /// Per-thread CPU clock (ns) for servicing-path host accounting — immune
@@ -293,6 +320,7 @@ class Driver {
   FaultLog log_;
   std::unique_ptr<EvictionPolicy> eviction_;
   std::unique_ptr<AdaptivePrefetcher> adaptive_;
+  std::unique_ptr<MarkovPrefetcher> markov_;
   ThrashingDetector thrashing_{ThrashingDetector::Config{}};
   LogHistogram queue_latency_;
   std::uint64_t servicing_host_ns_ = 0;

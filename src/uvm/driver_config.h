@@ -69,6 +69,39 @@ enum class ReplayPolicyKind : std::uint8_t {
 enum class EvictionPolicyKind : std::uint8_t {
   Lru,            ///< stock fault-driven LRU (paper §V-A1)
   AccessCounter,  ///< LRU promoted by Volta access counters (paper §VI-B)
+  Clock,          ///< CLOCK / second-chance (ref bits, sweeping hand)
+  TwoQ,           ///< 2Q / segmented LRU (probation + protected segments)
+};
+
+[[nodiscard]] const char* to_string(EvictionPolicyKind k);
+
+/// Which predictor drives speculative population while prefetching is
+/// enabled (`prefetch_enabled`); `prefetch_enabled = false` is the third
+/// "off" mode of the prefetch-policy axis.
+enum class PrefetchPolicyKind : std::uint8_t {
+  Tree,    ///< the paper's static two-stage density tree (default)
+  Markov,  ///< deterministic online-learned delta-Markov predictor
+};
+
+[[nodiscard]] const char* to_string(PrefetchPolicyKind k);
+
+/// Knobs for the online-learned prefetcher (PrefetchPolicyKind::Markov):
+/// a bounded direct-mapped table over VABlock-delta history with saturating
+/// confidence counters. Integer-only by construction — table indices come
+/// from a multiplicative hash and confidence is a saturating counter, so
+/// the predictor is bit-exact on every host and for every lane count.
+struct MarkovPrefetchConfig {
+  /// Direct-mapped table size; must be a power of two in [2, 2^20].
+  /// Collisions evict deterministically (last writer wins).
+  std::uint32_t table_entries = 1024;
+  /// Saturation ceiling for per-entry confidence counters.
+  std::uint32_t confidence_max = 7;
+  /// Minimum confidence before an entry's prediction is emitted
+  /// (1 <= confidence_emit <= confidence_max).
+  std::uint32_t confidence_emit = 3;
+  /// Maximum chained predictions emitted per observed fault bin
+  /// (1 <= degree <= MarkovPrefetcher::kMaxDegree).
+  std::uint32_t degree = 2;
 };
 
 /// Fault-servicing backend selector (the ServicingBackend seam).
@@ -145,6 +178,12 @@ struct DriverConfig {
 
   /// Master prefetch switch (uvm_perf_prefetch_enable).
   bool prefetch_enabled = true;
+  /// Which predictor speculates when prefetching is enabled. Markov
+  /// replaces the density tree with the online-learned delta predictor
+  /// (stage-1 big-page upgrade of faulted pages still applies).
+  PrefetchPolicyKind prefetch_policy = PrefetchPolicyKind::Tree;
+  /// Learned-prefetcher knobs (PrefetchPolicyKind::Markov only).
+  MarkovPrefetchConfig markov;
   /// Density threshold percent (uvm_perf_prefetch_threshold, default 51).
   std::uint32_t prefetch_threshold = 51;
   /// Stage-1 upgrade of each faulted 4 KB page to its 64 KB big page.

@@ -1,0 +1,107 @@
+#include "uvm/eviction_clock.h"
+
+namespace uvmsim {
+
+std::uint32_t ClockEviction::acquire_node() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    nodes_[idx] = Node{};
+    return idx;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void ClockEviction::link_before_hand(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  if (hand_ == kNil) {
+    n.prev = n.next = idx;
+    hand_ = idx;
+    return;
+  }
+  const std::uint32_t after = nodes_[hand_].prev;
+  n.prev = after;
+  n.next = hand_;
+  nodes_[after].next = idx;
+  nodes_[hand_].prev = idx;
+}
+
+void ClockEviction::unlink(std::uint32_t idx) {
+  Node& n = nodes_[idx];
+  if (n.next == idx) {
+    hand_ = kNil;  // last node
+  } else {
+    nodes_[n.prev].next = n.next;
+    nodes_[n.next].prev = n.prev;
+    if (hand_ == idx) hand_ = n.next;
+  }
+  n.prev = n.next = kNil;
+}
+
+void ClockEviction::on_slice_allocated(SliceKey k) {
+  const auto [it, inserted] = pos_.try_emplace(k.packed(), kNil);
+  if (!inserted) {
+    // Re-allocation of a tracked slice: count as a use.
+    nodes_[it->second].ref = true;
+    return;
+  }
+  const std::uint32_t idx = acquire_node();
+  nodes_[idx].key = k;
+  it->second = idx;
+  link_before_hand(idx);  // fresh slices start unreferenced
+}
+
+void ClockEviction::on_slice_touched(SliceKey k) {
+  const auto it = pos_.find(k.packed());
+  if (it == pos_.end()) return;
+  nodes_[it->second].ref = true;
+}
+
+void ClockEviction::on_slice_evicted(SliceKey k) {
+  const auto it = pos_.find(k.packed());
+  if (it == pos_.end()) return;
+  unlink(it->second);
+  free_.push_back(it->second);
+  pos_.erase(it);
+}
+
+std::optional<SliceKey> ClockEviction::pick_victim(
+    const std::function<bool(SliceKey)>& eligible) {
+  last_scan_len_ = 0;
+  if (hand_ == kNil) return std::nullopt;
+  // Bounded sweep: one full revolution may clear every ref bit, a second
+  // finds the first unreferenced eligible slice; 2n visits suffice.
+  const std::size_t limit = 2 * pos_.size();
+  for (std::size_t visits = 0; visits < limit; ++visits) {
+    Node& n = nodes_[hand_];
+    ++last_scan_len_;
+    if (eligible(n.key)) {
+      if (n.ref) {
+        n.ref = false;  // second chance spent
+      } else {
+        const SliceKey victim = n.key;
+        hand_ = n.next;  // resume the sweep past the victim
+        return victim;
+      }
+    }
+    // Ineligible slices keep their ref bit: being pinned or in-flight is
+    // not a use, and the pin will clear by the next round.
+    hand_ = nodes_[hand_].next;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<SliceKey, bool>> ClockEviction::sweep_order() const {
+  std::vector<std::pair<SliceKey, bool>> out;
+  out.reserve(pos_.size());
+  if (hand_ == kNil) return out;
+  std::uint32_t i = hand_;
+  do {
+    out.emplace_back(nodes_[i].key, nodes_[i].ref);
+    i = nodes_[i].next;
+  } while (i != hand_);
+  return out;
+}
+
+}  // namespace uvmsim

@@ -44,9 +44,6 @@ class LruEviction : public EvictionPolicy {
 
   void begin_victim_round() override;
   void end_victim_round() override;
-  [[nodiscard]] std::size_t last_scan_length() const override {
-    return last_scan_len_;
-  }
 
   [[nodiscard]] const char* name() const override { return "lru"; }
   [[nodiscard]] std::size_t tracked() const override { return pos_.size(); }
@@ -91,7 +88,6 @@ class LruEviction : public EvictionPolicy {
   std::uint32_t head_ = kNil;  ///< MRU
   std::uint32_t tail_ = kNil;  ///< LRU
   bool in_round_ = false;
-  std::size_t last_scan_len_ = 0;
 };
 
 }  // namespace uvmsim

@@ -6,12 +6,12 @@
 // stock configuration, smaller with the flexible-granularity extension.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 
+#include "core/errors.h"
 #include "gpu/access_counters.h"
 #include "mem/constants.h"
 
@@ -29,13 +29,19 @@ struct SliceKey {
   /// a neighbouring block's slice 0 (e.g. {block 0, slice 512} == {block 1,
   /// slice 0}). A shifted key keeps the halves disjoint for every block ID
   /// below 2^32 — 2^32 blocks x 2 MB = 8 EB of VA, beyond any address
-  /// space this simulates — which the asserts pin.
+  /// space this simulates. The guard is unconditional, not an assert: a
+  /// Release build must not silently alias two slices' keys either.
+  /// AddressSpace::create_range rejects address spaces with >= 2^32 blocks
+  /// at configuration time, so this firing means a protocol bug upstream.
   [[nodiscard]] std::uint64_t packed() const {
     static_assert(kPagesPerBlock <= (std::uint64_t{1} << 32),
                   "slice index must fit the key's lower 32 bits");
     static_assert(sizeof(slice) == sizeof(std::uint32_t),
                   "slice half of the key is exactly 32 bits");
-    assert((block >> 32) == 0 && "block ID exceeds the key's upper half");
+    if ((block >> 32) != 0) {
+      throw SimulationError(
+          "SliceKey::packed: block ID exceeds the key's upper half");
+    }
     return (block << 32) | slice;
   }
 };
@@ -64,7 +70,8 @@ class EvictionPolicy {
 
   /// Picks a victim among tracked slices for which `eligible` returns true
   /// (the driver excludes the faulting block and service-locked blocks).
-  /// Returns nullopt if no eligible victim exists.
+  /// Returns nullopt if no eligible victim exists. Implementations must
+  /// record the number of slices they examined in `last_scan_len_`.
   virtual std::optional<SliceKey> pick_victim(
       const std::function<bool(SliceKey)>& eligible) = 0;
 
@@ -78,10 +85,14 @@ class EvictionPolicy {
     auto v = pick_victim([&](SliceKey k) {
       return classify(k) == VictimEligibility::Preferred;
     });
+    // The fallback pass overwrites last_scan_len_; the work done by the
+    // first pass must still be visible to instrumentation, so add it back.
+    const std::size_t first_pass = last_scan_len_;
     if (!v) {
       v = pick_victim([&](SliceKey k) {
         return classify(k) != VictimEligibility::Ineligible;
       });
+      last_scan_len_ += first_pass;
     }
     return v;
   }
@@ -95,8 +106,10 @@ class EvictionPolicy {
   virtual void begin_victim_round() {}
   virtual void end_victim_round() {}
 
-  /// Slices examined by the most recent victim scan (instrumentation).
-  [[nodiscard]] virtual std::size_t last_scan_length() const { return 0; }
+  /// Slices examined by the most recent victim pick (instrumentation).
+  /// For the default two-pass pick_victim_classified this is the TOTAL
+  /// across both passes, not just the fallback pass.
+  [[nodiscard]] std::size_t last_scan_length() const { return last_scan_len_; }
 
   /// Volta access-counter notification (ignored by the stock LRU).
   virtual void on_access_notification(const AccessCounterNotification&) {}
@@ -104,6 +117,11 @@ class EvictionPolicy {
   [[nodiscard]] virtual const char* name() const = 0;
   /// Number of slices currently tracked.
   [[nodiscard]] virtual std::size_t tracked() const = 0;
+
+ protected:
+  /// Set by every pick_victim / pick_victim_classified implementation to
+  /// the number of slices it examined.
+  std::size_t last_scan_len_ = 0;
 };
 
 }  // namespace uvmsim

@@ -38,6 +38,16 @@ const char* to_string(EvictionPolicyKind k) {
   switch (k) {
     case EvictionPolicyKind::Lru: return "lru";
     case EvictionPolicyKind::AccessCounter: return "access_counter";
+    case EvictionPolicyKind::Clock: return "clock";
+    case EvictionPolicyKind::TwoQ: return "2q";
+  }
+  return "unknown";
+}
+
+const char* to_string(PrefetchPolicyKind k) {
+  switch (k) {
+    case PrefetchPolicyKind::Tree: return "tree";
+    case PrefetchPolicyKind::Markov: return "markov";
   }
   return "unknown";
 }

@@ -10,14 +10,15 @@
 #include "workloads/regular.h"
 #include "workloads/sgemm.h"
 #include "workloads/stream_triad.h"
+#include "workloads/strided.h"
 #include "workloads/tealeaf.h"
 
 namespace uvmsim {
 
 const std::vector<std::string>& workload_names() {
   static const std::vector<std::string> kNames = {
-      "regular", "random", "sgemm",    "stream",
-      "cufft",   "tealeaf", "hpgmg", "cusparse"};
+      "regular", "random",  "strided", "sgemm",    "stream",
+      "cufft",   "tealeaf", "hpgmg",   "cusparse"};
   return kNames;
 }
 
@@ -28,6 +29,9 @@ std::unique_ptr<Workload> make_workload(std::string_view name,
   }
   if (name == "random") {
     return std::make_unique<RandomTouch>(target_bytes);
+  }
+  if (name == "strided") {
+    return std::make_unique<StridedTouch>(target_bytes);
   }
   if (name == "sgemm") {
     return std::make_unique<SgemmWorkload>(

@@ -1,0 +1,37 @@
+#include "workloads/strided.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/errors.h"
+
+namespace uvmsim {
+
+StridedTouch::StridedTouch(std::uint64_t bytes, std::uint32_t stride_pages,
+                           std::uint32_t compute_ns)
+    : bytes_(std::max<std::uint64_t>(bytes, kPageSize)),
+      stride_pages_(stride_pages),
+      compute_ns_(compute_ns) {
+  if (stride_pages_ == 0) {
+    throw ConfigError("StridedTouch.stride_pages", "must be >= 1");
+  }
+}
+
+void StridedTouch::setup(Simulator& sim) {
+  RangeId rid = sim.malloc_managed(bytes_, "data");
+  const VaRange& r = sim.address_space().range(rid);
+
+  GridBuilder g("strided_touch");
+  std::vector<VirtPage> pages;
+  for (std::uint64_t p = 0; p < r.num_pages;) {
+    pages.clear();
+    for (std::uint32_t lane = 0; lane < 32 && p < r.num_pages; ++lane) {
+      pages.push_back(r.first_page + p);
+      p += stride_pages_;
+    }
+    g.new_warp().add(pages, /*write=*/true, compute_ns_);
+  }
+  sim.launch(g.build(static_cast<double>(r.num_pages / stride_pages_)));
+}
+
+}  // namespace uvmsim

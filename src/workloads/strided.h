@@ -1,0 +1,31 @@
+// Strided synthetic page-touch kernel: threads touch one page every
+// `stride_pages`, walking the range front to back. The canonical
+// density-hostile but delta-predictable pattern — a 64 KB stride keeps every
+// 2 MB block's fault density far below the prefetch tree's threshold (and
+// makes its big-page upgrade pure amplification), while the block-delta
+// sequence is a constant the Markov predictor locks onto immediately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace uvmsim {
+
+class StridedTouch final : public Workload {
+ public:
+  explicit StridedTouch(std::uint64_t bytes, std::uint32_t stride_pages = 16,
+                        std::uint32_t compute_ns = 500);
+
+  [[nodiscard]] std::string name() const override { return "strided"; }
+  [[nodiscard]] std::uint64_t total_bytes() const override { return bytes_; }
+  void setup(Simulator& sim) override;
+
+ private:
+  std::uint64_t bytes_;
+  std::uint32_t stride_pages_;
+  std::uint32_t compute_ns_;
+};
+
+}  // namespace uvmsim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/errors.h"
+
 namespace uvmsim {
 namespace {
 
@@ -19,6 +21,21 @@ TEST(AddressSpace, SingleRangeBasics) {
 TEST(AddressSpace, ZeroBytesThrows) {
   AddressSpace as;
   EXPECT_THROW(as.create_range(0, "z"), std::invalid_argument);
+}
+
+TEST(AddressSpace, RejectsVaPastSliceKeyBlockBound) {
+  // SliceKey::packed() keys eviction state by a 32/32 block/slice split, so
+  // block IDs must stay below 2^32 — proven here at configuration time,
+  // before any simulated servicing could hit the packed() guard.
+  AddressSpace as;
+  EXPECT_THROW(as.create_range(((std::uint64_t{1} << 32) + 1) * kVaBlockSize,
+                               "8eb"),
+               ConfigError);
+  // The bound is cumulative across ranges, not per range.
+  as.create_range(4 * kVaBlockSize, "a");
+  EXPECT_THROW(
+      as.create_range((std::uint64_t{1} << 32) * kVaBlockSize - 1, "b"),
+      ConfigError);
 }
 
 TEST(AddressSpace, SubPageRoundsUp) {

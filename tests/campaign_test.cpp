@@ -147,6 +147,59 @@ TEST_F(CampaignTest, BackendKeyMapsToConfigAndCliArgs) {
                ConfigError);
 }
 
+TEST_F(CampaignTest, PrefetchPolicyKeyPreservesLegacyContentAddresses) {
+  // Same append-only contract as backend=: requests that never mention the
+  // knob — or spell the default — keep their pre-PR-10 canonical line and
+  // content address, so cached results from older campaigns stay valid.
+  const RunRequest legacy = parse_request_line("workload=sgemm size-mib=96");
+  const RunRequest explicit_default =
+      parse_request_line("workload=sgemm size-mib=96 prefetch-policy=tree");
+  EXPECT_EQ(canonical_request(legacy), canonical_request(explicit_default));
+  EXPECT_EQ(canonical_request(legacy).find("prefetch-policy="),
+            std::string::npos);
+
+  const RunRequest markov =
+      parse_request_line("workload=sgemm size-mib=96 prefetch-policy=markov");
+  EXPECT_NE(request_id(legacy), request_id(markov));
+  EXPECT_NE(canonical_request(markov).find(" prefetch-policy=markov"),
+            std::string::npos);
+}
+
+TEST_F(CampaignTest, PrefetchPolicyKeyMapsToConfigAndCliArgs) {
+  const RunRequest markov = parse_request_line(tiny("prefetch-policy=markov"));
+  EXPECT_EQ(request_sim_config(markov).driver.prefetch_policy,
+            PrefetchPolicyKind::Markov);
+  const auto args = request_cli_args(markov);
+  bool forwarded = false;
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    forwarded |= args[i] == "--prefetch-policy" && args[i + 1] == "markov";
+  }
+  EXPECT_TRUE(forwarded);
+
+  // Default requests forward no flag (worker argv unchanged), and the
+  // invalid combinations stay config-time errors.
+  const auto legacy_args = request_cli_args(parse_request_line(tiny()));
+  for (const std::string& a : legacy_args) EXPECT_NE(a, "--prefetch-policy");
+  EXPECT_THROW(
+      (void)request_sim_config(parse_request_line(tiny("prefetch-policy=ai"))),
+      ConfigError);
+  EXPECT_THROW((void)request_sim_config(parse_request_line(
+                   tiny("prefetch=adaptive prefetch-policy=markov"))),
+               ConfigError);
+}
+
+TEST_F(CampaignTest, EvictionPanelKeysMapToConfig) {
+  EXPECT_EQ(request_sim_config(parse_request_line(tiny("eviction=clock")))
+                .driver.eviction_policy,
+            EvictionPolicyKind::Clock);
+  EXPECT_EQ(request_sim_config(parse_request_line(tiny("eviction=2q")))
+                .driver.eviction_policy,
+            EvictionPolicyKind::TwoQ);
+  EXPECT_THROW(
+      (void)request_sim_config(parse_request_line(tiny("eviction=fifo"))),
+      ConfigError);
+}
+
 TEST_F(CampaignTest, RequestIdIs16LowercaseHex) {
   const std::string id = request_id(parse_request_line(tiny()));
   EXPECT_EQ(id.size(), 16u);

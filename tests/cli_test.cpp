@@ -54,10 +54,48 @@ TEST(Cli, BadWorkloadFails) {
 
 TEST(Cli, BadEnumValuesFail) {
   EXPECT_NE(run_cli("--prefetch sideways").exit_code, 0);
+  EXPECT_NE(run_cli("--prefetch-policy oracle").exit_code, 0);
   EXPECT_NE(run_cli("--policy yolo").exit_code, 0);
   EXPECT_NE(run_cli("--eviction fifo").exit_code, 0);
+  EXPECT_NE(run_cli("--eviction-policy fifo").exit_code, 0);
   EXPECT_NE(run_cli("--thrash maybe").exit_code, 0);
   EXPECT_NE(run_cli("--backend fpga").exit_code, 0);
+}
+
+TEST(Cli, PolicyPanelRunsAndReportsMarkovCounters) {
+  CmdResult r = run_cli(
+      "--workload strided --size-mib 8 --gpu-mib 4 "
+      "--prefetch-policy markov --eviction clock");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("markov_observes"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("markov_blocks_prefetched"), std::string::npos);
+  // The 2Q panel member and the --eviction-policy alias both run.
+  EXPECT_EQ(run_cli("--workload regular --size-mib 4 --gpu-mib 16 "
+                    "--eviction-policy 2q")
+                .exit_code,
+            0);
+}
+
+TEST(Cli, MarkovRejectsAdaptivePrefetchCombination) {
+  CmdResult r = run_cli(
+      "--workload regular --size-mib 4 --prefetch adaptive "
+      "--prefetch-policy markov");
+  EXPECT_NE(r.exit_code, 0);
+}
+
+TEST(Cli, PolicyPanelOutputIsLaneInvariant) {
+  // The PR-10 determinism contract at the CLI level: the learned prefetcher
+  // and the new eviction policies must print byte-identical reports for any
+  // lane count.
+  const std::string base =
+      "--workload strided --size-mib 12 --gpu-mib 8 "
+      "--prefetch-policy markov --eviction ";
+  for (const char* ev : {"clock", "2q"}) {
+    CmdResult one = run_cli(base + ev + " --lanes 1");
+    CmdResult four = run_cli(base + ev + " --lanes 4");
+    EXPECT_EQ(one.exit_code, 0) << one.output;
+    EXPECT_EQ(one.output, four.output) << "eviction=" << ev;
+  }
 }
 
 TEST(Cli, GpuBackendRuns) {

@@ -49,9 +49,10 @@ struct CliOptions {
   std::int64_t lanes = -1;
   std::string backend = "driver";  // driver | gpu
   std::string prefetch = "on";  // on | off | adaptive
+  std::string prefetch_policy = "tree";  // tree | markov
   std::uint32_t threshold = 51;
   std::string policy = "batch_flush";
-  std::string eviction = "lru";
+  std::string eviction = "lru";  // lru | access_counter | clock | 2q
   std::string chunking = "on";  // on | off
   double split_watermark = -1.0;  // < 0 = keep DriverConfig default
   double fine_watermark = -1.0;
@@ -94,9 +95,14 @@ options:
                        driver's batched path, or GPUVM-style per-fault
                        GPU-side resolution (default driver)
   --prefetch MODE      on | off | adaptive (default on)
+  --prefetch-policy P  tree | markov — which predictor speculates while
+                       prefetching is on: the paper's static density tree,
+                       or the online-learned delta-Markov table (default
+                       tree; markov cannot combine with --prefetch adaptive)
   --threshold P        density threshold percent 1..100 (default 51)
   --policy P           block | batch | batch_flush | once (default batch_flush)
-  --eviction P         lru | access_counter (default lru)
+  --eviction P         lru | access_counter | clock | 2q (default lru);
+                       --eviction-policy is an alias
   --chunking MODE      on | off — chunked PMA backing: split 2 MB root
                        chunks to 64 KB/4 KB under memory pressure (default on)
   --split-watermark F  free-memory fraction below which blocks split to
@@ -190,13 +196,16 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     } else if (a == "--prefetch") {
       if (!(v = need_value(i))) return std::nullopt;
       o.prefetch = v;
+    } else if (a == "--prefetch-policy") {
+      if (!(v = need_value(i))) return std::nullopt;
+      o.prefetch_policy = v;
     } else if (a == "--threshold") {
       if (!(v = need_value(i))) return std::nullopt;
       o.threshold = static_cast<std::uint32_t>(std::stoul(v));
     } else if (a == "--policy") {
       if (!(v = need_value(i))) return std::nullopt;
       o.policy = v;
-    } else if (a == "--eviction") {
+    } else if (a == "--eviction" || a == "--eviction-policy") {
       if (!(v = need_value(i))) return std::nullopt;
       o.eviction = v;
     } else if (a == "--chunking") {
@@ -309,6 +318,21 @@ std::optional<SimConfig> to_config(const CliOptions& o) {
     return std::nullopt;
   }
 
+  if (o.prefetch_policy == "tree") {
+    cfg.driver.prefetch_policy = PrefetchPolicyKind::Tree;
+  } else if (o.prefetch_policy == "markov") {
+    cfg.driver.prefetch_policy = PrefetchPolicyKind::Markov;
+    if (cfg.driver.adaptive_prefetch) {
+      std::cerr << "bad --prefetch-policy: markov cannot combine with "
+                   "--prefetch adaptive\n";
+      return std::nullopt;
+    }
+  } else {
+    std::cerr << "bad --prefetch-policy: " << o.prefetch_policy
+              << " (tree | markov)\n";
+    return std::nullopt;
+  }
+
   if (o.policy == "block") {
     cfg.driver.replay_policy = ReplayPolicyKind::Block;
   } else if (o.policy == "batch") {
@@ -327,8 +351,13 @@ std::optional<SimConfig> to_config(const CliOptions& o) {
   } else if (o.eviction == "access_counter") {
     cfg.driver.eviction_policy = EvictionPolicyKind::AccessCounter;
     cfg.access_counters.enabled = true;
+  } else if (o.eviction == "clock") {
+    cfg.driver.eviction_policy = EvictionPolicyKind::Clock;
+  } else if (o.eviction == "2q") {
+    cfg.driver.eviction_policy = EvictionPolicyKind::TwoQ;
   } else {
-    std::cerr << "bad --eviction: " << o.eviction << "\n";
+    std::cerr << "bad --eviction: " << o.eviction
+              << " (lru | access_counter | clock | 2q)\n";
     return std::nullopt;
   }
 
